@@ -1,0 +1,121 @@
+// Ablation study over the framework's design choices (DESIGN.md §5):
+//   --part=double   double DQN vs vanilla max-target DQN
+//   --part=mask     masked attention softmax vs the paper's raw zero-padding
+//   --part=target   fine-grained expectation targets (8 expiry segments)
+//                   vs a collapsed single-segment future
+//   --part=history  warm-starting from the init month vs cold start
+//   --part=explore  Gaussian Q-noise exploration vs pure greedy ranking
+// Default: all parts. Each variant replays the same trace under the worker
+// objective; higher CR/nDCG-CR = better.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace crowdrl {
+namespace {
+
+struct Variant {
+  std::string part;
+  std::string label;
+  std::function<void(FrameworkConfig*)> tweak;
+};
+
+int Main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.15, 5);
+  const std::string part = flags.GetString("part", "all");
+
+  std::printf("ablation_qnet: scale=%.2f months=%d part=%s\n",
+              setup.paper ? 1.0 : setup.scale, setup.months, part.c_str());
+  Dataset ds = SyntheticGenerator(setup.MakeSyntheticConfig()).Generate();
+  CROWDRL_CHECK(ds.Validate().ok());
+  Experiment exp(&ds, setup.MakeExperimentConfig());
+
+  const std::vector<Variant> variants = {
+      {"arch", "set-attention Q-network (paper Fig. 3)",
+       [](FrameworkConfig*) {}},
+      {"arch", "independent per-task scoring (no attention)",
+       [](FrameworkConfig* c) {
+         c->worker_dqn.net.use_attention = false;
+         c->requester_dqn.net.use_attention = false;
+       }},
+      {"double", "double-DQN (paper)", [](FrameworkConfig*) {}},
+      {"double", "vanilla DQN",
+       [](FrameworkConfig* c) {
+         c->worker_dqn.double_q = false;
+         c->requester_dqn.double_q = false;
+       }},
+      {"mask", "masked attention + trimmed states (ours)",
+       [](FrameworkConfig*) {}},
+      {"mask", "raw zero-padding (paper Fig. 3)",
+       [](FrameworkConfig* c) {
+         c->state.pad_to_max = true;
+         c->state.max_tasks = 128;
+         c->worker_dqn.net.masked_attention = false;
+         c->requester_dqn.net.masked_attention = false;
+       }},
+      {"target", "8 expiry segments (paper Eq. 3)",
+       [](FrameworkConfig* c) { c->predictor.max_segments = 8; }},
+      {"target", "collapsed single segment",
+       [](FrameworkConfig* c) { c->predictor.max_segments = 1; }},
+      {"history", "warm start from init month (paper)",
+       [](FrameworkConfig*) {}},
+      {"history", "cold start",
+       [](FrameworkConfig* c) { c->learn_from_history = false; }},
+      {"explore", "Gaussian Q-noise explorer (paper Sec VI-B)",
+       [](FrameworkConfig*) {}},
+      {"explore", "pure greedy (no exploration)",
+       [](FrameworkConfig* c) { c->explorer.list_noise_prob = 0.0; }},
+      {"interaction", "with f_w ∘ f_t channel (CPU-scale default)",
+       [](FrameworkConfig*) {}},
+      {"interaction", "raw [f_w ⊕ f_t] (paper representation)",
+       [](FrameworkConfig* c) { c->state.include_interaction = false; }},
+      {"nextworker", "expectation speed-up (paper Sec V-D)",
+       [](FrameworkConfig*) {}},
+      {"nextworker", "exact top-5 candidate workers",
+       [](FrameworkConfig* c) { c->predictor.next_worker_top_k = 5; }},
+  };
+
+  Table t({"part", "variant", "CR", "kCR", "nDCG-CR"});
+  for (const auto& v : variants) {
+    if (part != "all" && part != v.part) continue;
+    std::printf("... %s / %s\n", v.part.c_str(), v.label.c_str());
+    std::fflush(stdout);
+    FrameworkConfig cfg = exp.MakeFrameworkConfig(Objective::kWorkerBenefit);
+    v.tweak(&cfg);
+    MethodResult result = exp.RunFramework(cfg, v.label);
+    const auto& m = result.run.final_metrics;
+    t.AddRow({v.part, v.label, Table::Num(m.cr, 3), Table::Num(m.kcr, 3),
+              Table::Num(m.ndcg_cr, 3)});
+  }
+
+  // Delayed-feedback sweep (Sec. IX future-work scenario): how much does
+  // stale platform state cost as task-completion latency grows?
+  if (part == "all" || part == "delay") {
+    for (SimTime delay : {0, 60, 24 * 60}) {
+      std::printf("... delay / feedback after %lld min\n",
+                  static_cast<long long>(delay));
+      std::fflush(stdout);
+      ExperimentConfig ec = setup.MakeExperimentConfig();
+      ec.harness.feedback_delay_minutes = delay;
+      Experiment delayed_exp(&ds, ec);
+      char label[64];
+      std::snprintf(label, sizeof(label), "feedback delayed %lld min",
+                    static_cast<long long>(delay));
+      MethodResult result = delayed_exp.RunMethod(
+          "ddqn", Objective::kWorkerBenefit);
+      const auto& m = result.run.final_metrics;
+      t.AddRow({"delay", label, Table::Num(m.cr, 3), Table::Num(m.kcr, 3),
+                Table::Num(m.ndcg_cr, 3)});
+    }
+  }
+  t.Print("Ablations (worker objective)");
+  bench::EmitCsv(t, setup, "ablation_qnet.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace crowdrl
+
+int main(int argc, char** argv) { return crowdrl::Main(argc, argv); }

@@ -1,0 +1,78 @@
+#ifndef CROWDRL_BENCH_BENCH_UTIL_H_
+#define CROWDRL_BENCH_BENCH_UTIL_H_
+
+#include <filesystem>
+#include <string>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace crowdrl {
+namespace bench {
+
+/// Shared command-line contract of the figure benches:
+///   --scale=<f>    volume multiplier on the CrowdSpring-calibrated trace
+///   --months=<n>   evaluated months (paper: 12)
+///   --paper        full paper scale (scale=1, months=12, published DQN
+///                  hyper-parameters) — expect long CPU runtimes
+///   --seed=<n>     master seed
+///   --out=<dir>    CSV output directory (default: results)
+struct BenchSetup {
+  double scale = 0.25;
+  int months = 12;
+  bool paper = false;
+  uint64_t seed = 17;
+  std::string out_dir = "results";
+
+  SyntheticConfig MakeSyntheticConfig() const {
+    SyntheticConfig cfg;
+    cfg.scale = paper ? 1.0 : scale;
+    cfg.eval_months = months;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  ExperimentConfig MakeExperimentConfig() const {
+    ExperimentConfig cfg;
+    cfg.seed = seed;
+    if (paper) cfg.UsePaperScale();
+    return cfg;
+  }
+
+  std::string OutPath(const std::string& name) const {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    return out_dir + "/" + name;
+  }
+};
+
+inline BenchSetup ParseSetup(const CliFlags& flags, double default_scale,
+                             int default_months) {
+  BenchSetup setup;
+  setup.scale = flags.GetDouble("scale", default_scale);
+  setup.months = static_cast<int>(flags.GetInt("months", default_months));
+  setup.paper = flags.GetBool("paper", false);
+  setup.seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  setup.out_dir = flags.GetString("out", "results");
+  return setup;
+}
+
+/// Writes and announces a CSV next to the printed table.
+inline void EmitCsv(const Table& table, const BenchSetup& setup,
+                    const std::string& file) {
+  const std::string path = setup.OutPath(file);
+  Status st = table.WriteCsv(path);
+  if (!st.ok()) {
+    CROWDRL_LOG(kWarn) << "could not write " << path << ": " << st.ToString();
+  } else {
+    std::printf("[csv] %s\n", path.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace crowdrl
+
+#endif  // CROWDRL_BENCH_BENCH_UTIL_H_

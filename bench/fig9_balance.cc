@@ -1,0 +1,48 @@
+// Reproduces Fig. 9: balancing the two benefits with the aggregator
+// Q = w·Q_w + (1−w)·Q_r for w ∈ {0, 0.25, 0.5, 0.75, 1}.
+// The paper's reading: QG barely moves from w=0 to 0.25 while CR barely
+// moves from 0.25 to 1 — so the holistic optimum sits near w ≈ 0.25.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace crowdrl {
+namespace {
+
+int Main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.12, 6);
+
+  std::printf("fig9_balance: scale=%.2f months=%d seed=%llu\n",
+              setup.paper ? 1.0 : setup.scale, setup.months,
+              static_cast<unsigned long long>(setup.seed));
+  Dataset ds = SyntheticGenerator(setup.MakeSyntheticConfig()).Generate();
+  CROWDRL_CHECK(ds.Validate().ok());
+
+  Experiment exp(&ds, setup.MakeExperimentConfig());
+
+  const std::vector<double> weights = {0.0, 0.25, 0.5, 0.75, 1.0};
+  Table t({"w", "CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG"});
+  for (double w : weights) {
+    std::printf("... running dual-DQN framework with w=%.2f\n", w);
+    std::fflush(stdout);
+    FrameworkConfig cfg = exp.MakeFrameworkConfig(Objective::kBalanced);
+    cfg.worker_weight = w;
+    char label[32];
+    std::snprintf(label, sizeof(label), "DDQN(w=%.2f)", w);
+    MethodResult result = exp.RunFramework(cfg, label);
+    const auto& v = result.run.final_metrics;
+    t.AddRow({Table::Num(w, 2), Table::Num(v.cr, 3), Table::Num(v.kcr, 3),
+              Table::Num(v.ndcg_cr, 3), Table::Num(v.qg, 1),
+              Table::Num(v.kqg, 1), Table::Num(v.ndcg_qg, 1)});
+  }
+  t.Print("Fig 9: benefit balance vs aggregation weight w "
+          "(paper: holistic optimum near w = 0.25)");
+  bench::EmitCsv(t, setup, "fig9_balance.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace crowdrl
+
+int main(int argc, char** argv) { return crowdrl::Main(argc, argv); }

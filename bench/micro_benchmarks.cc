@@ -1,0 +1,203 @@
+// Google-benchmark micro-benchmarks for the performance-critical kernels:
+// matmul, attention forward/backward, full Q-network passes, prioritized
+// replay and arrival-model operations. These are the CPU substitutes for
+// the paper's GPU kernels; Table I / Fig. 10(d) costs decompose into them.
+#include <benchmark/benchmark.h>
+
+#include "baselines/linucb.h"
+#include "core/dqn_agent.h"
+#include "nn/set_qnetwork.h"
+#include "rl/arrival_model.h"
+#include "rl/prioritized_replay.h"
+#include "tensor/ops.h"
+
+namespace crowdrl {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::Uniform(n, n, &rng);
+  Matrix b = Matrix::Uniform(n, n, &rng);
+  for (auto _ : state) {
+    Matrix c = Matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(2);
+  Matrix base = Matrix::Uniform(n, n, &rng);
+  for (auto _ : state) {
+    Matrix m = base;
+    SoftmaxRowsInPlace(&m);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(256);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(3);
+  MultiHeadSelfAttention attn(64, 4, &rng);
+  Matrix x = Matrix::Uniform(n, 64, &rng);
+  MultiHeadSelfAttention::Cache cache;
+  for (auto _ : state) {
+    Matrix y = attn.Forward(x, n, &cache);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(57)->Arg(128)->Arg(512);
+
+void BM_QNetworkForward(benchmark::State& state) {
+  const size_t pool = state.range(0);
+  SetQNetworkConfig cfg;
+  cfg.input_dim = 50;
+  cfg.hidden_dim = 128;  // paper's hyper-parameter
+  cfg.num_heads = 4;
+  Rng rng(4);
+  SetQNetwork net(cfg, &rng);
+  Matrix x = Matrix::Uniform(pool, 50, &rng);
+  SetQNetwork::Cache cache;
+  for (auto _ : state) {
+    Matrix q = net.Forward(x, pool, &cache);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_QNetworkForward)->Arg(16)->Arg(57)->Arg(128)->Arg(512);
+
+void BM_QNetworkBackward(benchmark::State& state) {
+  const size_t pool = state.range(0);
+  SetQNetworkConfig cfg;
+  cfg.input_dim = 50;
+  cfg.hidden_dim = 128;
+  cfg.num_heads = 4;
+  Rng rng(5);
+  SetQNetwork net(cfg, &rng);
+  Matrix x = Matrix::Uniform(pool, 50, &rng);
+  SetQNetwork::Cache cache;
+  Matrix q = net.Forward(x, pool, &cache);
+  Matrix dq(pool, 1);
+  dq(0, 0) = 1.0f;
+  auto grads = net.MakeGradients();
+  for (auto _ : state) {
+    grads.SetZero();
+    net.Backward(dq, cache, &grads);
+    benchmark::DoNotOptimize(grads.g[0].data());
+  }
+}
+BENCHMARK(BM_QNetworkBackward)->Arg(16)->Arg(57)->Arg(128);
+
+void BM_DqnLearnStep(benchmark::State& state) {
+  const size_t pool = state.range(0);
+  DqnAgentConfig cfg;
+  cfg.net.input_dim = 50;
+  cfg.net.hidden_dim = 64;
+  cfg.net.num_heads = 4;
+  cfg.batch_size = 32;
+  cfg.replay.capacity = 256;
+  DqnAgent agent(cfg);
+  Rng rng(6);
+  for (int i = 0; i < 64; ++i) {
+    Transition t;
+    t.state = Matrix::Uniform(pool, 50, &rng);
+    t.valid_n = pool;
+    t.action_row = static_cast<int>(rng.UniformInt(pool));
+    t.reward = static_cast<float>(rng.Uniform());
+    agent.Store(std::move(t));
+  }
+  for (auto _ : state) {
+    agent.LearnStep();
+  }
+}
+BENCHMARK(BM_DqnLearnStep)->Arg(16)->Arg(57)->UseRealTime();
+
+void BM_PrioritizedReplaySample(benchmark::State& state) {
+  PrioritizedReplayConfig cfg;
+  cfg.capacity = 1000;  // the paper's buffer size
+  PrioritizedReplay replay(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    Transition t;
+    t.state = Matrix(4, 8);
+    t.valid_n = 4;
+    t.action_row = 0;
+    replay.Add(std::move(t));
+    replay.UpdatePriority(i % 1000, rng.Uniform());
+  }
+  for (auto _ : state) {
+    auto batch = replay.SampleBatch(64, &rng);
+    benchmark::DoNotOptimize(batch.data());
+  }
+}
+BENCHMARK(BM_PrioritizedReplaySample);
+
+void BM_ArrivalModelRecord(benchmark::State& state) {
+  ArrivalModel model;
+  SimTime t = 0;
+  Rng rng(8);
+  int64_t worker = 0;
+  for (auto _ : state) {
+    model.RecordArrival(static_cast<int>(worker % 500), t);
+    t += static_cast<SimTime>(rng.UniformInt(1, 30));
+    ++worker;
+  }
+}
+BENCHMARK(BM_ArrivalModelRecord);
+
+void BM_LinUcbScoreAndUpdate(benchmark::State& state) {
+  // One arrival cycle at pool size n: score every candidate + one
+  // Sherman–Morrison update (the Table I / Fig. 10(d) unit of work).
+  const size_t n = state.range(0);
+  const size_t wd = 24, td = 24;
+  LinUcb policy(Objective::kWorkerBenefit, wd, td, LinUcbConfig{});
+  Rng rng(11);
+  Observation obs;
+  obs.worker = 0;
+  obs.worker_quality = 0.5;
+  obs.worker_features.resize(wd);
+  for (auto& v : obs.worker_features) v = static_cast<float>(rng.Uniform());
+  std::vector<std::vector<float>> feats(n, std::vector<float>(td));
+  for (auto& f : feats) {
+    for (auto& v : f) v = static_cast<float>(rng.Uniform());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    TaskSnapshot snap;
+    snap.id = static_cast<TaskId>(i);
+    snap.features = &feats[i];
+    snap.quality = 0.2;
+    obs.tasks.push_back(snap);
+  }
+  Feedback fb;
+  fb.completed_pos = 0;
+  fb.completed_index = 0;
+  for (auto _ : state) {
+    auto ranking = policy.Rank(obs);
+    fb.completed_index = ranking[0];
+    policy.OnFeedback(obs, ranking, fb);
+    benchmark::DoNotOptimize(ranking.data());
+  }
+}
+BENCHMARK(BM_LinUcbScoreAndUpdate)->Arg(57)->Arg(512);
+
+void BM_GapHistogramMass(benchmark::State& state) {
+  GapHistogram h(1, kMaxSameWorkerGap, 10);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(rng.UniformInt(1, kMaxSameWorkerGap));
+  }
+  SimTime lo = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.MassBetween(lo, lo + 500));
+    lo = (lo + 37) % 9000 + 1;
+  }
+}
+BENCHMARK(BM_GapHistogramMass);
+
+}  // namespace
+}  // namespace crowdrl
+
+BENCHMARK_MAIN();

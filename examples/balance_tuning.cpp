@@ -1,0 +1,57 @@
+// Marketplace operator scenario: choosing the aggregation weight w.
+//
+// A commercial platform profits from completed tasks, so it must keep both
+// sides of the market happy: workers (who want interesting tasks) and
+// requesters (who want high-quality results before their deadlines).
+// The framework's aggregator blends the two learned value functions,
+//     Q(s,t) = w·Q_w(s,t) + (1−w)·Q_r(s,t),
+// and this example sweeps w to expose the trade-off curve of Fig. 9 on a
+// small trace — the operator picks the knee (the paper lands near 0.25).
+//
+//   $ ./build/examples/balance_tuning [--scale=0.1] [--months=3]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+using namespace crowdrl;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  SyntheticConfig data_cfg;
+  data_cfg.scale = flags.GetDouble("scale", 0.1);
+  data_cfg.eval_months = static_cast<int>(flags.GetInt("months", 3));
+  data_cfg.seed = 13;
+  Dataset dataset = SyntheticGenerator(data_cfg).Generate();
+
+  ExperimentConfig exp_cfg;
+  exp_cfg.hidden_dim = 32;
+  exp_cfg.batch_size = 16;
+  exp_cfg.learn_every = 4;
+  Experiment experiment(&dataset, exp_cfg);
+
+  std::printf("sweeping aggregation weight w (workers side weight)\n\n");
+  std::printf("%6s %10s %12s   %s\n", "w", "CR", "QG", "interpretation");
+
+  for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    FrameworkConfig cfg =
+        experiment.MakeFrameworkConfig(Objective::kBalanced);
+    cfg.worker_weight = w;
+    char label[32];
+    std::snprintf(label, sizeof(label), "w=%.2f", w);
+    MethodResult result = experiment.RunFramework(cfg, label);
+    const MetricValues& m = result.run.final_metrics;
+    const char* note = w == 0.0    ? "requesters only"
+                       : w == 1.0  ? "workers only"
+                       : w == 0.25 ? "paper's holistic optimum"
+                                   : "";
+    std::printf("%6.2f %10.3f %12.1f   %s\n", w, m.cr, m.qg, note);
+  }
+
+  std::printf(
+      "\nReading the curve: moving w from 0 to 0.25 costs little quality\n"
+      "gain but buys most of the completion-rate improvement — beyond that\n"
+      "CR saturates while QG decays. Hence the platform should run w≈0.25.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extending the library with your own arrangement policy.
+//
+// Scenario: a platform operator suspects that simply pushing the
+// highest-award tasks ("money-first") is good enough, and wants to test
+// that hypothesis against the learned framework under identical worker
+// behaviour. Implementing `Policy` (or the `ScoreRankPolicy` helper) is all
+// it takes to enter the evaluation harness.
+//
+//   $ ./build/examples/custom_policy
+#include <cstdio>
+
+#include "baselines/score_policy.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/harness.h"
+
+using namespace crowdrl;
+
+namespace {
+
+/// Ranks available tasks purely by award, ignoring workers entirely.
+class MoneyFirstPolicy : public ScoreRankPolicy {
+ public:
+  std::string name() const override { return "MoneyFirst"; }
+
+  void OnFeedback(const Observation&, const std::vector<int>&,
+                  const Feedback&) override {
+    // Stateless: nothing to learn.
+  }
+
+ protected:
+  double Score(const Observation& obs, int task_idx) override {
+    return obs.tasks[task_idx].award;
+  }
+};
+
+/// Ranks by how soon a task expires — "clear the queue" heuristics are
+/// popular with requesters worried about deadlines.
+class DeadlineFirstPolicy : public ScoreRankPolicy {
+ public:
+  std::string name() const override { return "DeadlineFirst"; }
+
+  void OnFeedback(const Observation&, const std::vector<int>&,
+                  const Feedback&) override {}
+
+ protected:
+  double Score(const Observation& obs, int task_idx) override {
+    // Earlier deadline = higher score.
+    return -static_cast<double>(obs.tasks[task_idx].deadline);
+  }
+};
+
+}  // namespace
+
+int main() {
+  SyntheticConfig data_cfg;
+  data_cfg.scale = 0.1;
+  data_cfg.eval_months = 3;
+  data_cfg.seed = 11;
+  Dataset dataset = SyntheticGenerator(data_cfg).Generate();
+
+  ExperimentConfig exp_cfg;
+  exp_cfg.hidden_dim = 32;
+  exp_cfg.batch_size = 16;
+  exp_cfg.learn_every = 4;
+  Experiment experiment(&dataset, exp_cfg);
+
+  std::printf("%-14s %8s %8s %8s\n", "method", "CR", "kCR", "nDCG-CR");
+  auto report = [](const std::string& name, const RunResult& run) {
+    std::printf("%-14s %8.3f %8.3f %8.3f\n", name.c_str(),
+                run.final_metrics.cr, run.final_metrics.kcr,
+                run.final_metrics.ndcg_cr);
+  };
+
+  // Custom policies ride the same harness as the built-in methods.
+  {
+    ReplayHarness harness(&dataset, exp_cfg.harness);
+    MoneyFirstPolicy policy;
+    report(policy.name(), harness.Run(&policy));
+  }
+  {
+    ReplayHarness harness(&dataset, exp_cfg.harness);
+    DeadlineFirstPolicy policy;
+    report(policy.name(), harness.Run(&policy));
+  }
+  report("Random",
+         experiment.RunMethod("random", Objective::kWorkerBenefit).run);
+  report("DDQN", experiment.RunMethod("ddqn", Objective::kWorkerBenefit).run);
+
+  std::printf(
+      "\nTakeaway: hand-crafted single-signal heuristics ignore worker\n"
+      "preferences; the learned framework personalizes and wins on CR.\n");
+  return 0;
+}

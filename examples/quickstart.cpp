@@ -1,0 +1,63 @@
+// Quickstart: generate a small CrowdSpring-like trace, run the end-to-end
+// DRL task-arrangement framework over it, and print what it learned.
+//
+//   $ ./build/examples/quickstart [--scale=0.1] [--months=3]
+//
+// This touches the whole public API surface in ~60 lines: synthetic data,
+// the replay harness (which owns the platform, features, and the worker
+// behaviour model), the framework policy, and the metrics.
+#include <cstdio>
+
+#include "common/cli.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+using namespace crowdrl;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+
+  // 1. A synthetic crowdsourcing trace, calibrated to the paper's dataset
+  //    statistics (tasks, workers, arrival rhythms). scale < 1 shrinks
+  //    everything proportionally so this demo runs in seconds.
+  SyntheticConfig data_cfg;
+  data_cfg.scale = flags.GetDouble("scale", 0.1);
+  data_cfg.eval_months = static_cast<int>(flags.GetInt("months", 3));
+  data_cfg.seed = 7;
+  Dataset dataset = SyntheticGenerator(data_cfg).Generate();
+  std::printf("trace: %zu tasks, %zu workers, %zu events (%d months)\n",
+              dataset.tasks.size(), dataset.workers.size(),
+              dataset.events.size(), dataset.total_months);
+
+  // 2. An experiment = harness config + framework sizing. The defaults are
+  //    CPU-friendly; ExperimentConfig::UsePaperScale() restores the paper's
+  //    hyper-parameters (hidden 128, batch 64, update per feedback).
+  ExperimentConfig exp_cfg;
+  exp_cfg.hidden_dim = 32;
+  exp_cfg.batch_size = 16;
+  exp_cfg.learn_every = 4;
+  Experiment experiment(&dataset, exp_cfg);
+
+  // 3. Replay the Random baseline and the DRL framework over identical
+  //    environments (fresh harness per run, same counterfactual worker
+  //    decisions — so the comparison is apples to apples).
+  MethodResult random_run =
+      experiment.RunMethod("random", Objective::kWorkerBenefit);
+  MethodResult ddqn_run =
+      experiment.RunMethod("ddqn", Objective::kWorkerBenefit);
+
+  // 4. Report the paper's worker-benefit metrics.
+  std::printf("\n%-10s %8s %8s %8s\n", "method", "CR", "kCR", "nDCG-CR");
+  for (const MethodResult* r : {&random_run, &ddqn_run}) {
+    const MetricValues& m = r->run.final_metrics;
+    std::printf("%-10s %8.3f %8.3f %8.3f\n", r->method.c_str(), m.cr, m.kcr,
+                m.ndcg_cr);
+  }
+  const double lift =
+      ddqn_run.run.final_metrics.cr /
+      std::max(1e-9, random_run.run.final_metrics.cr);
+  std::printf("\nDDQN completes %.1fx more recommendations than Random "
+              "after %d months of online learning.\n",
+              lift, data_cfg.eval_months);
+  return 0;
+}

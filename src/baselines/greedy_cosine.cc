@@ -1,0 +1,25 @@
+#include "baselines/greedy_cosine.h"
+
+#include "common/check.h"
+#include "sim/quality.h"
+#include "tensor/ops.h"
+
+namespace crowdrl {
+
+GreedyCosine::GreedyCosine(Objective objective, double quality_p)
+    : objective_(objective), quality_p_(quality_p) {
+  CROWDRL_CHECK_MSG(objective != Objective::kBalanced,
+                    "GreedyCosine optimizes one side at a time");
+}
+
+double GreedyCosine::Score(const Observation& obs, int task_idx) {
+  const TaskSnapshot& snap = obs.tasks[task_idx];
+  const double completion =
+      CosineSimilarity(obs.worker_features, *snap.features);
+  if (objective_ == Objective::kWorkerBenefit) return completion;
+  const double gain = QualityModel::GainFromValues(
+      snap.quality, obs.worker_quality, quality_p_);
+  return completion * gain;
+}
+
+}  // namespace crowdrl

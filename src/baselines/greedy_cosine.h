@@ -1,0 +1,36 @@
+#ifndef CROWDRL_BASELINES_GREEDY_COSINE_H_
+#define CROWDRL_BASELINES_GREEDY_COSINE_H_
+
+#include "baselines/score_policy.h"
+
+namespace crowdrl {
+
+/// \brief Greedy + Cosine Similarity baseline (Sec. VII-A3): "we regard the
+/// cosine similarity between the worker feature and task feature as the
+/// completion rate, and select or sort tasks greedily".
+///
+/// For the requesters' benefit the predicted completion rate is multiplied
+/// by the actual value of the quality gain that a completion would realize
+/// (computable from q_t, q_w and the Dixit–Stiglitz exponent).
+class GreedyCosine : public ScoreRankPolicy {
+ public:
+  /// `quality_p` is the platform's Dixit–Stiglitz exponent (only used when
+  /// optimizing the requester benefit).
+  GreedyCosine(Objective objective, double quality_p);
+
+  std::string name() const override { return "Greedy CS"; }
+
+  void OnFeedback(const Observation&, const std::vector<int>&,
+                  const Feedback&) override {}
+
+ protected:
+  double Score(const Observation& obs, int task_idx) override;
+
+ private:
+  Objective objective_;
+  double quality_p_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_BASELINES_GREEDY_COSINE_H_

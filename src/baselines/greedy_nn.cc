@@ -1,0 +1,116 @@
+#include "baselines/greedy_nn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+GreedyNn::GreedyNn(Objective objective, size_t worker_dim, size_t task_dim,
+                   const GreedyNnConfig& config)
+    : objective_(objective),
+      worker_dim_(worker_dim),
+      task_dim_(task_dim),
+      config_(config),
+      rng_(config.seed) {
+  CROWDRL_CHECK_MSG(objective != Objective::kBalanced,
+                    "GreedyNn optimizes one side at a time");
+  std::vector<size_t> dims;
+  dims.push_back(worker_dim + task_dim +
+                 (objective == Objective::kRequesterBenefit ? 2 : 0));
+  for (size_t h : config.hidden) dims.push_back(h);
+  dims.push_back(1);
+  net_ = Mlp(dims, &rng_);
+  OptimizerConfig opt;
+  opt.learning_rate = config.learning_rate;
+  optimizer_ = std::make_unique<Adam>(net_.Params(), opt);
+}
+
+std::vector<float> GreedyNn::MakeInput(const Observation& obs,
+                                       int task_idx) const {
+  const TaskSnapshot& snap = obs.tasks[task_idx];
+  std::vector<float> x;
+  x.reserve(net_.input_dim());
+  x.insert(x.end(), obs.worker_features.begin(), obs.worker_features.end());
+  x.insert(x.end(), snap.features->begin(), snap.features->end());
+  if (objective_ == Objective::kRequesterBenefit) {
+    x.push_back(static_cast<float>(obs.worker_quality));
+    x.push_back(static_cast<float>(snap.quality));
+  }
+  CROWDRL_CHECK(x.size() == net_.input_dim());
+  return x;
+}
+
+double GreedyNn::Score(const Observation& obs, int task_idx) {
+  return net_.Predict(MakeInput(obs, task_idx));
+}
+
+void GreedyNn::AddRow(std::vector<float> x, float y) {
+  if (rows_.size() < config_.max_buffer) {
+    rows_.push_back({std::move(x), y});
+  } else {
+    rows_[next_row_] = {std::move(x), y};
+    next_row_ = (next_row_ + 1) % config_.max_buffer;
+  }
+}
+
+void GreedyNn::OnFeedback(const Observation& obs,
+                          const std::vector<int>& ranking,
+                          const Feedback& feedback) {
+  // Label every position the worker examined (cascade prefix): the
+  // completed task is a positive (1 / realized gain), the skipped prefix
+  // negatives (0).
+  const int last_seen = feedback.completed_pos >= 0
+                            ? feedback.completed_pos
+                            : static_cast<int>(ranking.size()) - 1;
+  for (int pos = 0; pos <= last_seen; ++pos) {
+    const bool completed = pos == feedback.completed_pos;
+    const float label =
+        objective_ == Objective::kRequesterBenefit
+            ? (completed ? static_cast<float>(feedback.quality_gain) : 0.0f)
+            : (completed ? 1.0f : 0.0f);
+    AddRow(MakeInput(obs, ranking[pos]), label);
+  }
+}
+
+void GreedyNn::OnHistory(const Observation& obs,
+                         const std::vector<int>& browse_order,
+                         int completed_pos, double quality_gain) {
+  Feedback fb;
+  fb.completed_pos = completed_pos;
+  fb.completed_index = completed_pos >= 0 ? browse_order[completed_pos] : -1;
+  fb.quality_gain = quality_gain;
+  OnFeedback(obs, browse_order, fb);
+}
+
+void GreedyNn::OnDayEnd(SimTime) {
+  if (rows_.empty()) return;
+  ++refreshes_;
+  // Full batch refresh over the accumulated data — the supervised-learning
+  // regime the paper contrasts with RL's incremental updates.
+  auto grads = net_.MakeGradients();
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t batch = std::min(config_.batch_size, rows_.size());
+  Matrix x(batch, net_.input_dim());
+  Matrix dy(batch, 1);
+  for (int epoch = 0; epoch < config_.epochs_per_refresh; ++epoch) {
+    rng_.Shuffle(&order);
+    for (size_t start = 0; start + batch <= order.size(); start += batch) {
+      for (size_t b = 0; b < batch; ++b) {
+        x.SetRow(b, rows_[order[start + b]].x);
+      }
+      Mlp::Cache cache;
+      Matrix pred = net_.Forward(x, &cache);
+      for (size_t b = 0; b < batch; ++b) {
+        // MSE: d/dpred (pred − y)² = 2(pred − y).
+        dy(b, 0) = 2.0f * (pred(b, 0) - rows_[order[start + b]].y);
+      }
+      for (auto& g : grads) g.SetZero();
+      net_.Backward(dy, cache, &grads);
+      optimizer_->Step(grads, 1.0 / static_cast<double>(batch));
+    }
+  }
+}
+
+}  // namespace crowdrl

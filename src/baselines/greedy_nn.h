@@ -1,0 +1,74 @@
+#ifndef CROWDRL_BASELINES_GREEDY_NN_H_
+#define CROWDRL_BASELINES_GREEDY_NN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/score_policy.h"
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace crowdrl {
+
+/// Greedy + Neural Network configuration.
+struct GreedyNnConfig {
+  std::vector<size_t> hidden = {64, 32};  ///< "two hidden-layers"
+  size_t max_buffer = 50000;   ///< training rows kept (ring)
+  int epochs_per_refresh = 4;  ///< passes over the buffer per daily retrain
+  size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  uint64_t seed = 0xBEEF;
+};
+
+/// \brief Greedy + Neural Network baseline (Sec. VII-A3): a supervised
+/// 2-hidden-layer MLP that predicts the completion rate (worker benefit)
+/// or the quality gain (requester benefit; q_w and q_t join the features).
+///
+/// As a *supervised* method its parameters are refreshed in daily batches
+/// ("we train them with newly collected data once at the end of each day"),
+/// not per feedback — which is exactly the latency the paper's Table I
+/// penalizes it for, and one of the two structural handicaps (with
+/// immediate-reward-only prediction) that make it lose to the RL methods.
+class GreedyNn : public ScoreRankPolicy {
+ public:
+  GreedyNn(Objective objective, size_t worker_dim, size_t task_dim,
+           const GreedyNnConfig& config);
+
+  std::string name() const override { return "Greedy NN"; }
+
+  void OnFeedback(const Observation& obs, const std::vector<int>& ranking,
+                  const Feedback& feedback) override;
+  void OnHistory(const Observation& obs, const std::vector<int>& browse_order,
+                 int completed_pos, double quality_gain) override;
+  void OnDayEnd(SimTime now) override;
+
+  size_t buffered_rows() const { return rows_.size(); }
+  int64_t refreshes() const { return refreshes_; }
+
+ protected:
+  double Score(const Observation& obs, int task_idx) override;
+
+ private:
+  struct Row {
+    std::vector<float> x;
+    float y;
+  };
+
+  std::vector<float> MakeInput(const Observation& obs, int task_idx) const;
+  void AddRow(std::vector<float> x, float y);
+
+  Objective objective_;
+  size_t worker_dim_, task_dim_;
+  GreedyNnConfig config_;
+  Mlp net_;
+  std::unique_ptr<Adam> optimizer_;
+  Rng rng_;
+  std::vector<Row> rows_;
+  size_t next_row_ = 0;
+  int64_t refreshes_ = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_BASELINES_GREEDY_NN_H_

@@ -1,0 +1,132 @@
+#include "baselines/linucb.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+LinUcb::LinUcb(Objective objective, size_t worker_dim, size_t task_dim,
+               const LinUcbConfig& config)
+    : objective_(objective),
+      worker_dim_(worker_dim),
+      task_dim_(task_dim),
+      dim_(worker_dim + task_dim + std::min(worker_dim, task_dim) +
+           (objective == Objective::kRequesterBenefit ? 2 : 0)),
+      config_(config) {
+  CROWDRL_CHECK_MSG(objective != Objective::kBalanced,
+                    "LinUcb optimizes one side at a time");
+  // A = ridge·I  ⇒  A⁻¹ = I / ridge.
+  a_inv_.assign(dim_ * dim_, 0.0);
+  for (size_t i = 0; i < dim_; ++i) a_inv_[i * dim_ + i] = 1.0 / config.ridge;
+  b_.assign(dim_, 0.0);
+  theta_.assign(dim_, 0.0);
+}
+
+std::vector<double> LinUcb::MakeContext(const Observation& obs,
+                                        int task_idx) const {
+  const TaskSnapshot& snap = obs.tasks[task_idx];
+  std::vector<double> x;
+  x.reserve(dim_);
+  for (float v : obs.worker_features) x.push_back(v);
+  for (float v : *snap.features) x.push_back(v);
+  const size_t inter = std::min(worker_dim_, task_dim_);
+  for (size_t i = 0; i < inter; ++i) {
+    x.push_back(static_cast<double>(obs.worker_features[i]) *
+                (*snap.features)[i]);
+  }
+  if (objective_ == Objective::kRequesterBenefit) {
+    x.push_back(obs.worker_quality);
+    x.push_back(snap.quality);
+  }
+  CROWDRL_CHECK(x.size() == dim_);
+  return x;
+}
+
+double LinUcb::Score(const Observation& obs, int task_idx) {
+  const auto x = MakeContext(obs, task_idx);
+  if (theta_dirty_) {
+    // θ = A⁻¹·b.
+    for (size_t i = 0; i < dim_; ++i) {
+      double acc = 0;
+      const double* row = &a_inv_[i * dim_];
+      for (size_t j = 0; j < dim_; ++j) acc += row[j] * b_[j];
+      theta_[i] = acc;
+    }
+    theta_dirty_ = false;
+  }
+  double mean = 0;
+  double quad = 0;
+  for (size_t i = 0; i < dim_; ++i) {
+    mean += theta_[i] * x[i];
+    double acc = 0;
+    const double* row = &a_inv_[i * dim_];
+    for (size_t j = 0; j < dim_; ++j) acc += row[j] * x[j];
+    quad += x[i] * acc;
+  }
+  return mean + config_.alpha * std::sqrt(std::max(quad, 0.0));
+}
+
+void LinUcb::UpdateOne(const std::vector<double>& x, double reward) {
+  // Sherman–Morrison: (A + x·xᵀ)⁻¹ = A⁻¹ − (A⁻¹x)(A⁻¹x)ᵀ / (1 + xᵀA⁻¹x).
+  std::vector<double> ax(dim_, 0.0);
+  for (size_t i = 0; i < dim_; ++i) {
+    double acc = 0;
+    const double* row = &a_inv_[i * dim_];
+    for (size_t j = 0; j < dim_; ++j) acc += row[j] * x[j];
+    ax[i] = acc;
+  }
+  double denom = 1.0;
+  for (size_t i = 0; i < dim_; ++i) denom += x[i] * ax[i];
+  const double inv_denom = 1.0 / denom;
+  for (size_t i = 0; i < dim_; ++i) {
+    double* row = &a_inv_[i * dim_];
+    const double axi = ax[i] * inv_denom;
+    for (size_t j = 0; j < dim_; ++j) row[j] -= axi * ax[j];
+  }
+  for (size_t i = 0; i < dim_; ++i) b_[i] += reward * x[i];
+  theta_dirty_ = true;
+  ++updates_;
+}
+
+void LinUcb::OnFeedback(const Observation& obs,
+                        const std::vector<int>& ranking,
+                        const Feedback& feedback) {
+  const int last_seen = feedback.completed_pos >= 0
+                            ? feedback.completed_pos
+                            : static_cast<int>(ranking.size()) - 1;
+  size_t updates = 0;
+  for (int pos = 0; pos <= last_seen; ++pos) {
+    const bool completed = pos == feedback.completed_pos;
+    if (!completed && updates >= config_.max_updates_per_feedback) continue;
+    const double reward =
+        objective_ == Objective::kRequesterBenefit
+            ? (completed ? feedback.quality_gain : 0.0)
+            : (completed ? 1.0 : 0.0);
+    UpdateOne(MakeContext(obs, ranking[pos]), reward);
+    ++updates;
+  }
+}
+
+void LinUcb::OnHistory(const Observation& obs,
+                       const std::vector<int>& browse_order,
+                       int completed_pos, double quality_gain) {
+  Feedback fb;
+  fb.completed_pos = completed_pos;
+  fb.completed_index = completed_pos >= 0 ? browse_order[completed_pos] : -1;
+  fb.quality_gain = quality_gain;
+  OnFeedback(obs, browse_order, fb);
+}
+
+std::vector<double> LinUcb::Theta() const {
+  std::vector<double> theta(dim_, 0.0);
+  for (size_t i = 0; i < dim_; ++i) {
+    double acc = 0;
+    const double* row = &a_inv_[i * dim_];
+    for (size_t j = 0; j < dim_; ++j) acc += row[j] * b_[j];
+    theta[i] = acc;
+  }
+  return theta;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,70 @@
+#ifndef CROWDRL_BASELINES_LINUCB_H_
+#define CROWDRL_BASELINES_LINUCB_H_
+
+#include <vector>
+
+#include "baselines/score_policy.h"
+#include "tensor/matrix.h"
+
+namespace crowdrl {
+
+/// LinUCB hyper-parameters.
+struct LinUcbConfig {
+  double alpha = 0.15;  ///< UCB exploration width
+  double ridge = 1.0;   ///< ℓ2 regularizer (A is initialized to ridge·I)
+  /// Update only from positions the worker examined (cascade prefix).
+  size_t max_updates_per_feedback = 8;
+};
+
+/// \brief SpatialUCB/LinUCB baseline ([11] adapting [18]): a shared linear
+/// contextual bandit over the context x = f_w ⊕ f_t ⊕ (f_w ∘ f_t)
+/// (⊕ [q_w, q_t] for the requester benefit). The elementwise interaction
+/// block lets the *linear* model express worker–task feature match — the
+/// analogue of SpatialUCB's engineered distance/type features; without it
+/// a concatenation-only context cannot separate "right task for this
+/// worker" from "popular task". Scores are the upper confidence bound
+///
+///   score(x) = θᵀx + α·√(xᵀ A⁻¹ x),   θ = A⁻¹ b,
+///
+/// and the model updates in real time after every feedback (A += x·xᵀ,
+/// b += r·x) with Sherman–Morrison keeping A⁻¹ incremental at O(d²).
+/// Like all bandit methods it models only the *immediate* reward — the
+/// structural gap to the DQN that the paper's experiments expose.
+class LinUcb : public ScoreRankPolicy {
+ public:
+  LinUcb(Objective objective, size_t worker_dim, size_t task_dim,
+         const LinUcbConfig& config);
+
+  std::string name() const override { return "LinUCB"; }
+
+  void OnFeedback(const Observation& obs, const std::vector<int>& ranking,
+                  const Feedback& feedback) override;
+  void OnHistory(const Observation& obs, const std::vector<int>& browse_order,
+                 int completed_pos, double quality_gain) override;
+
+  size_t dim() const { return dim_; }
+  int64_t updates() const { return updates_; }
+  /// Current point estimate θ (diagnostics/tests).
+  std::vector<double> Theta() const;
+
+ protected:
+  double Score(const Observation& obs, int task_idx) override;
+
+ private:
+  std::vector<double> MakeContext(const Observation& obs, int task_idx) const;
+  void UpdateOne(const std::vector<double>& x, double reward);
+
+  Objective objective_;
+  size_t worker_dim_, task_dim_, dim_;
+  LinUcbConfig config_;
+  /// A⁻¹ (d×d, double precision for Sherman–Morrison stability) and b.
+  std::vector<double> a_inv_;
+  std::vector<double> b_;
+  std::vector<double> theta_;
+  bool theta_dirty_ = true;
+  int64_t updates_ = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_BASELINES_LINUCB_H_

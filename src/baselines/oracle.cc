@@ -1,0 +1,29 @@
+#include "baselines/oracle.h"
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+OraclePolicy::OraclePolicy(Objective objective, const Platform* platform,
+                           const BehaviorModel* behavior, double quality_p)
+    : objective_(objective),
+      platform_(platform),
+      behavior_(behavior),
+      quality_p_(quality_p) {
+  CROWDRL_CHECK(platform != nullptr && behavior != nullptr);
+  CROWDRL_CHECK_MSG(objective != Objective::kBalanced,
+                    "Oracle scores one side at a time");
+}
+
+double OraclePolicy::Score(const Observation& obs, int task_idx) {
+  const TaskSnapshot& snap = obs.tasks[task_idx];
+  const Worker& worker = platform_->worker(obs.worker);
+  const Task& task = platform_->task(snap.id);
+  const double p_accept = behavior_->InterestProb(worker, task);
+  if (objective_ == Objective::kWorkerBenefit) return p_accept;
+  const double gain = QualityModel::GainFromValues(
+      snap.quality, obs.worker_quality, quality_p_);
+  return p_accept * gain;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,41 @@
+#ifndef CROWDRL_BASELINES_ORACLE_H_
+#define CROWDRL_BASELINES_ORACLE_H_
+
+#include "baselines/score_policy.h"
+#include "sim/behavior.h"
+#include "sim/platform.h"
+#include "sim/quality.h"
+
+namespace crowdrl {
+
+/// \brief Clairvoyant reference policy — **not** part of the paper's
+/// comparison. It reads the simulator's latent worker preferences and ranks
+/// by the *true* immediate acceptance probability (× true quality gain for
+/// the requester benefit).
+///
+/// Purpose: an upper reference line for the immediate reward, used by tests
+/// (every honest policy must fall between Random and Oracle) and by the
+/// experiment reports to show how much headroom the learned methods leave.
+class OraclePolicy : public ScoreRankPolicy {
+ public:
+  OraclePolicy(Objective objective, const Platform* platform,
+               const BehaviorModel* behavior, double quality_p);
+
+  std::string name() const override { return "Oracle"; }
+
+  void OnFeedback(const Observation&, const std::vector<int>&,
+                  const Feedback&) override {}
+
+ protected:
+  double Score(const Observation& obs, int task_idx) override;
+
+ private:
+  Objective objective_;
+  const Platform* platform_;
+  const BehaviorModel* behavior_;
+  double quality_p_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_BASELINES_ORACLE_H_

@@ -1,0 +1,14 @@
+#include "baselines/random_policy.h"
+
+#include <numeric>
+
+namespace crowdrl {
+
+std::vector<int> RandomPolicy::Rank(const Observation& obs) {
+  std::vector<int> order(obs.tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(&order);
+  return order;
+}
+
+}  // namespace crowdrl

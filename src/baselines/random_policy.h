@@ -1,0 +1,29 @@
+#ifndef CROWDRL_BASELINES_RANDOM_POLICY_H_
+#define CROWDRL_BASELINES_RANDOM_POLICY_H_
+
+#include "common/rng.h"
+#include "core/policy.h"
+
+namespace crowdrl {
+
+/// \brief The Random baseline: "one available task is picked randomly, or a
+/// list of tasks is randomly sorted and recommended". It never looks at any
+/// feature and never updates a model.
+class RandomPolicy : public Policy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+
+  std::vector<int> Rank(const Observation& obs) override;
+
+  void OnFeedback(const Observation&, const std::vector<int>&,
+                  const Feedback&) override {}
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_BASELINES_RANDOM_POLICY_H_

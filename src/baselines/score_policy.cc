@@ -1,0 +1,20 @@
+#include "baselines/score_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdrl {
+
+std::vector<int> ScoreRankPolicy::Rank(const Observation& obs) {
+  std::vector<double> scores(obs.tasks.size());
+  for (size_t i = 0; i < obs.tasks.size(); ++i) {
+    scores[i] = Score(obs, static_cast<int>(i));
+  }
+  std::vector<int> order(obs.tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+}  // namespace crowdrl

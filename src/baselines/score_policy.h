@@ -1,0 +1,23 @@
+#ifndef CROWDRL_BASELINES_SCORE_POLICY_H_
+#define CROWDRL_BASELINES_SCORE_POLICY_H_
+
+#include "core/policy.h"
+
+namespace crowdrl {
+
+/// \brief Helper base for baselines that rank by a per-task score
+/// ("select one available task or sort the available tasks based on
+/// predicted values"). Subclasses implement `Score`; ranking is descending
+/// by score with stable tie-breaks.
+class ScoreRankPolicy : public Policy {
+ public:
+  std::vector<int> Rank(const Observation& obs) override;
+
+ protected:
+  /// Predicted value of recommending obs.tasks[task_idx] to obs's worker.
+  virtual double Score(const Observation& obs, int task_idx) = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_BASELINES_SCORE_POLICY_H_

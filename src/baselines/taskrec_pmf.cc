@@ -1,0 +1,119 @@
+#include "baselines/taskrec_pmf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+TaskrecPmf::TaskrecPmf(size_t num_workers, size_t num_tasks,
+                       size_t num_categories, const TaskrecConfig& config)
+    : config_(config), rng_(config.seed), k_(config.latent_dim) {
+  auto init = [&](std::vector<float>* store, size_t n) {
+    store->resize(n * k_);
+    for (auto& v : *store) {
+      v = static_cast<float>(rng_.Normal(0.0, 0.1));
+    }
+  };
+  init(&u_, num_workers);
+  init(&c_, num_categories);
+  v_.assign(num_tasks * k_, 0.0f);
+  v_init_.assign(num_tasks, 0);
+}
+
+void TaskrecPmf::EnsureTaskInit(int task, int category) {
+  CROWDRL_CHECK(task >= 0 && static_cast<size_t>(task) < v_init_.size());
+  if (v_init_[task]) return;
+  // Cold task: start from its category factor plus small noise — this is
+  // where the task–category relation of the unified PMF pays off.
+  const float* cat = &c_[static_cast<size_t>(category) * k_];
+  float* tv = &v_[static_cast<size_t>(task) * k_];
+  for (size_t d = 0; d < k_; ++d) {
+    tv[d] = cat[d] + static_cast<float>(rng_.Normal(0.0, 0.02));
+  }
+  v_init_[task] = 1;
+}
+
+double TaskrecPmf::Predict(int worker, int task, int category) const {
+  const float* wu = &u_[static_cast<size_t>(worker) * k_];
+  const float* tv = v_init_[task] ? &v_[static_cast<size_t>(task) * k_]
+                                  : &c_[static_cast<size_t>(category) * k_];
+  double dot = 0;
+  for (size_t d = 0; d < k_; ++d) dot += static_cast<double>(wu[d]) * tv[d];
+  return 1.0 / (1.0 + std::exp(-dot));
+}
+
+double TaskrecPmf::Score(const Observation& obs, int task_idx) {
+  const TaskSnapshot& snap = obs.tasks[task_idx];
+  return Predict(obs.worker, snap.id, snap.category);
+}
+
+void TaskrecPmf::AddInteraction(int worker, int task, int category,
+                                float label) {
+  EnsureTaskInit(task, category);
+  Interaction it{worker, task, category, label};
+  if (data_.size() < config_.max_interactions) {
+    data_.push_back(it);
+  } else {
+    data_[next_slot_] = it;
+    next_slot_ = (next_slot_ + 1) % config_.max_interactions;
+  }
+}
+
+void TaskrecPmf::OnFeedback(const Observation& obs,
+                            const std::vector<int>& ranking,
+                            const Feedback& feedback) {
+  const int last_seen = feedback.completed_pos >= 0
+                            ? feedback.completed_pos
+                            : static_cast<int>(ranking.size()) - 1;
+  for (int pos = 0; pos <= last_seen; ++pos) {
+    const TaskSnapshot& snap = obs.tasks[ranking[pos]];
+    AddInteraction(obs.worker, snap.id, snap.category,
+                   pos == feedback.completed_pos ? 1.0f : 0.0f);
+  }
+}
+
+void TaskrecPmf::OnHistory(const Observation& obs,
+                           const std::vector<int>& browse_order,
+                           int completed_pos, double quality_gain) {
+  Feedback fb;
+  fb.completed_pos = completed_pos;
+  fb.completed_index = completed_pos >= 0 ? browse_order[completed_pos] : -1;
+  fb.quality_gain = quality_gain;
+  OnFeedback(obs, browse_order, fb);
+}
+
+void TaskrecPmf::SgdStep(const Interaction& it) {
+  float* wu = &u_[static_cast<size_t>(it.worker) * k_];
+  float* tv = &v_[static_cast<size_t>(it.task) * k_];
+  float* cv = &c_[static_cast<size_t>(it.category) * k_];
+  double dot = 0;
+  for (size_t d = 0; d < k_; ++d) dot += static_cast<double>(wu[d]) * tv[d];
+  const double pred = 1.0 / (1.0 + std::exp(-dot));
+  // d/dz of (y − σ(z))² = −2(y − σ)σ(1−σ); constants fold into the rate.
+  const float err =
+      static_cast<float>((it.label - pred) * pred * (1.0 - pred));
+  const float lr = static_cast<float>(config_.learning_rate);
+  const float reg = static_cast<float>(config_.reg);
+  const float tie = static_cast<float>(config_.category_tie);
+  for (size_t d = 0; d < k_; ++d) {
+    const float gu = err * tv[d] - reg * wu[d];
+    const float gv = err * wu[d] - reg * tv[d] - tie * (tv[d] - cv[d]);
+    const float gc = tie * (tv[d] - cv[d]) - reg * cv[d];
+    wu[d] += lr * gu;
+    tv[d] += lr * gv;
+    cv[d] += lr * gc;
+  }
+}
+
+void TaskrecPmf::OnDayEnd(SimTime) {
+  if (data_.empty()) return;
+  std::vector<size_t> order(data_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int e = 0; e < config_.epochs_per_refresh; ++e) {
+    rng_.Shuffle(&order);
+    for (size_t idx : order) SgdStep(data_[idx]);
+  }
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,36 @@
+#ifndef CROWDRL_COMMON_CHECK_H_
+#define CROWDRL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checking. `CROWDRL_CHECK` is always on (programming errors must
+/// not silently corrupt an experiment); `CROWDRL_DCHECK` compiles out in
+/// release builds for hot inner loops.
+#define CROWDRL_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define CROWDRL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define CROWDRL_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define CROWDRL_DCHECK(cond) CROWDRL_CHECK(cond)
+#endif
+
+#endif  // CROWDRL_COMMON_CHECK_H_

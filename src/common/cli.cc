@@ -1,0 +1,54 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace crowdrl {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool CliFlags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string CliFlags::GetString(const std::string& key,
+                                const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double CliFlags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                      nullptr);
+}
+
+int64_t CliFlags::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end()
+             ? fallback
+             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool CliFlags::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,39 @@
+#ifndef CROWDRL_COMMON_CLI_H_
+#define CROWDRL_COMMON_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace crowdrl {
+
+/// \brief Tiny `--key=value` / `--flag` command-line parser for the bench and
+/// example binaries. Unrecognized google-benchmark flags (`--benchmark_*`)
+/// are passed through untouched.
+class CliFlags {
+ public:
+  /// Parses argv; later duplicates win. Non-flag arguments are kept in
+  /// `positional()`.
+  CliFlags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// The program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_CLI_H_

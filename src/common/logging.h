@@ -1,0 +1,41 @@
+#ifndef CROWDRL_COMMON_LOGGING_H_
+#define CROWDRL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crowdrl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Thread-safe at line granularity.
+/// Usage: CROWDRL_LOG(kInfo) << "trained " << n << " steps";
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  /// Global verbosity threshold; messages below it are dropped.
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define CROWDRL_LOG(level)                                          \
+  if (::crowdrl::LogLevel::level < ::crowdrl::LogMessage::min_level()) \
+    ;                                                               \
+  else                                                              \
+    ::crowdrl::LogMessage(::crowdrl::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_LOGGING_H_

@@ -1,0 +1,25 @@
+#include "common/sim_clock.h"
+
+#include <cstdio>
+
+namespace crowdrl {
+
+std::string FormatSimTime(SimTime t) {
+  const int month = MonthOf(t);
+  const SimTime in_month = t - month * kMinutesPerMonth;
+  const int day = static_cast<int>(in_month / kMinutesPerDay);
+  const SimTime in_day = in_month - day * kMinutesPerDay;
+  const int hh = static_cast<int>(in_day / 60);
+  const int mm = static_cast<int>(in_day % 60);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "m%02dd%02d %02d:%02d", month, day, hh, mm);
+  return buf;
+}
+
+std::string MonthLabel(int month_index) {
+  static const char* kNames[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  return kNames[((month_index % 12) + 12) % 12];
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,44 @@
+#ifndef CROWDRL_COMMON_SIM_CLOCK_H_
+#define CROWDRL_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crowdrl {
+
+/// Simulation time, in minutes since the start of the trace. The paper's
+/// arrival statistics are all expressed in minutes (φ over [1, 10080] min,
+/// ϕ over [0, 60] min), so minutes are the native unit of the whole library.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMinutesPerHour = 60;
+inline constexpr SimTime kMinutesPerDay = 24 * kMinutesPerHour;
+inline constexpr SimTime kMinutesPerWeek = 7 * kMinutesPerDay;
+/// The paper models months; we use a uniform 30-day month for the synthetic
+/// trace (13 months: one init month + 12 evaluation months).
+inline constexpr SimTime kMinutesPerMonth = 30 * kMinutesPerDay;
+
+/// φ(g)'s support: the same-worker return gap is truncated at one week
+/// ("the probability of φ(g), g > 10080 is small and can be ignored").
+inline constexpr SimTime kMaxSameWorkerGap = 10080;
+/// ϕ(g)'s support: 99% of consecutive-arrival gaps are below one hour.
+inline constexpr SimTime kMaxAnyWorkerGap = 60;
+
+/// Month index (0-based) containing `t`.
+inline int MonthOf(SimTime t) {
+  return static_cast<int>(t / kMinutesPerMonth);
+}
+
+/// Day index (0-based) containing `t`.
+inline int64_t DayOf(SimTime t) { return t / kMinutesPerDay; }
+
+/// Human-readable "m<month>d<day> hh:mm" rendering for logs.
+std::string FormatSimTime(SimTime t);
+
+/// Month label in the paper's figures: month 0 = "Jan" (init), 1 = "Feb", ...
+/// 12 = "Jan" again.
+std::string MonthLabel(int month_index);
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,142 @@
+#ifndef CROWDRL_COMMON_STATUS_H_
+#define CROWDRL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace crowdrl {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Arrow convention: library code on fallible paths returns a `Status` (or
+/// `Result<T>`) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Lightweight success/error carrier.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// human-readable message. Statuses are cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Usage:
+/// \code
+///   Result<Matrix> r = Matrix::FromFile(path);
+///   if (!r.ok()) return r.status();
+///   Matrix m = std::move(r).value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when holding a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates errors to the caller, RocksDB-style.
+#define CROWDRL_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::crowdrl::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Assigns the value of a `Result<T>` expression to `lhs` or returns its
+/// error status.
+#define CROWDRL_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto CROWDRL_CONCAT_(_res_, __LINE__) = (rexpr);   \
+  if (!CROWDRL_CONCAT_(_res_, __LINE__).ok())        \
+    return CROWDRL_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(CROWDRL_CONCAT_(_res_, __LINE__)).value()
+
+#define CROWDRL_CONCAT_IMPL_(a, b) a##b
+#define CROWDRL_CONCAT_(a, b) CROWDRL_CONCAT_IMPL_(a, b)
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef CROWDRL_COMMON_STOPWATCH_H_
+#define CROWDRL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace crowdrl {
+
+/// Wall-clock stopwatch for measuring model-update latency (Table I and
+/// Fig. 10(d) report seconds per update).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Online mean accumulator for latency statistics.
+class MeanAccumulator {
+ public:
+  void Add(double x) {
+    ++n_;
+    mean_ += (x - mean_) / static_cast<double>(n_);
+  }
+  double mean() const { return mean_; }
+  int64_t count() const { return n_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_STOPWATCH_H_

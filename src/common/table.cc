@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+void Table::AddRow(std::vector<std::string> row) {
+  CROWDRL_CHECK_MSG(row.size() == header_.size(),
+                    "table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(Num(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(width[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print(const std::string& caption) const {
+  if (!caption.empty()) std::printf("\n== %s ==\n", caption.c_str());
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << CsvEscape(row[c]);
+    }
+    f << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  if (!f.good()) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,50 @@
+#ifndef CROWDRL_COMMON_TABLE_H_
+#define CROWDRL_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crowdrl {
+
+/// \brief Column-aligned text table + CSV writer for experiment output.
+///
+/// Every bench binary prints the paper's tables/series through this class and
+/// mirrors them to `results/<name>.csv` so figures can be re-plotted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders an aligned text table.
+  std::string ToString() const;
+
+  /// Prints to stdout with an optional caption line.
+  void Print(const std::string& caption = "") const;
+
+  /// Writes RFC-4180-ish CSV (values containing comma/quote are quoted).
+  Status WriteCsv(const std::string& path) const;
+
+  /// Formats a double with fixed precision (shared helper).
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_TABLE_H_

@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 4;
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  CROWDRL_CHECK_MSG(job_ == nullptr, "ThreadPool::ParallelFor is not reentrant");
+  job_ = &fn;
+  job_size_ = n;
+  next_index_ = 0;
+  in_flight_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  // The calling thread participates too.
+  while (true) {
+    size_t i = next_index_;
+    if (i >= job_size_) break;
+    next_index_ = i + 1;
+    ++in_flight_;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    --in_flight_;
+  }
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && generation_ != seen_generation &&
+                           next_index_ < job_size_);
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    while (job_ != nullptr && next_index_ < job_size_) {
+      size_t i = next_index_++;
+      ++in_flight_;
+      const auto* fn = job_;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      --in_flight_;
+      if (in_flight_ == 0 && next_index_ >= job_size_) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace crowdrl

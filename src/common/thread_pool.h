@@ -1,0 +1,54 @@
+#ifndef CROWDRL_COMMON_THREAD_POOL_H_
+#define CROWDRL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace crowdrl {
+
+/// \brief Fixed-size worker pool used to parallelize batch training
+/// (independent per-sample forward/backward passes) across CPU cores.
+///
+/// The pool replaces the GPU the paper used: DQN batches parallelize
+/// perfectly across samples, so wall-clock per update scales ~1/cores.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects `hardware_concurrency()`.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  /// iterations finish. Reentrant calls from within tasks are not supported.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide shared pool (lazy, sized to hardware concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_size_ = 0;
+  size_t next_index_ = 0;
+  size_t in_flight_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_THREAD_POOL_H_

@@ -1,0 +1,43 @@
+#ifndef CROWDRL_CORE_AGGREGATOR_H_
+#define CROWDRL_CORE_AGGREGATOR_H_
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+/// \brief The "Aggregator / Balancer" of Fig. 2 (Sec. VI-A): combines the
+/// two Q-networks' value estimates into a single arrangement score,
+///
+///   Q(s, t) = w · Q_w(s, t) + (1 − w) · Q_r(s, t).
+///
+/// w = 1 optimizes workers only, w = 0 requesters only; the paper's Fig. 9
+/// sweep finds the holistic optimum near w ≈ 0.25.
+class Aggregator {
+ public:
+  explicit Aggregator(double worker_weight) : w_(worker_weight) {
+    CROWDRL_CHECK(worker_weight >= 0.0 && worker_weight <= 1.0);
+  }
+
+  double worker_weight() const { return w_; }
+
+  /// Elementwise weighted sum; the vectors must be aligned to the same
+  /// task rows.
+  std::vector<double> Combine(const std::vector<double>& q_worker,
+                              const std::vector<double>& q_requester) const {
+    CROWDRL_CHECK(q_worker.size() == q_requester.size());
+    std::vector<double> out(q_worker.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = w_ * q_worker[i] + (1.0 - w_) * q_requester[i];
+    }
+    return out;
+  }
+
+ private:
+  double w_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_CORE_AGGREGATOR_H_

@@ -1,0 +1,151 @@
+#include "core/dqn_agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace crowdrl {
+
+namespace {
+/// Builds a SetQNetwork from config with its own derived RNG stream.
+SetQNetwork MakeNet(const SetQNetworkConfig& net_config, uint64_t seed) {
+  Rng rng(seed);
+  return SetQNetwork(net_config, &rng);
+}
+}  // namespace
+
+DqnAgent::DqnAgent(const DqnAgentConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      online_(MakeNet(config.net, config.seed ^ 0xA5A5A5A5ULL)),
+      target_(MakeNet(config.net, config.seed ^ 0xA5A5A5A5ULL)),
+      optimizer_(online_.Params(), config.opt),
+      replay_(config.replay) {
+  // Target starts as an exact copy of the online network.
+  target_.CopyFrom(online_);
+}
+
+std::vector<double> DqnAgent::Scores(const Matrix& state,
+                                     size_t valid_n) const {
+  return online_.QValues(state, valid_n);
+}
+
+double DqnAgent::ComputeTarget(float reward,
+                               const FutureStateSpec& future) const {
+  return static_cast<double>(reward) +
+         config_.gamma * ComputeFutureValue(future);
+}
+
+double DqnAgent::ComputeFutureValue(const FutureStateSpec& future) const {
+  double expectation = 0;
+  for (const auto& branch : future.branches) {
+    for (const auto& [valid_n, prob] : branch.segments) {
+      if (valid_n == 0 || prob <= 0) continue;
+      const Matrix pool = branch.base.SliceRows(0, valid_n);
+      double value;
+      if (config_.double_q) {
+        // Double DQN: online net picks the action, target net scores it.
+        const auto online_q = online_.QValues(pool, valid_n);
+        const size_t best =
+            std::max_element(online_q.begin(), online_q.end()) -
+            online_q.begin();
+        const auto target_q = target_.QValues(pool, valid_n);
+        value = target_q[best];
+      } else {
+        const auto target_q = target_.QValues(pool, valid_n);
+        value = *std::max_element(target_q.begin(), target_q.end());
+      }
+      expectation += static_cast<double>(prob) * value;
+    }
+  }
+  return expectation;
+}
+
+size_t DqnAgent::Store(Transition t) {
+  if (!config_.recompute_targets_on_replay) {
+    t.target = ComputeTarget(t.reward, t.future);
+    t.future.Clear();  // the spec served its purpose; free the memory
+  }
+  ++store_count_;
+  return replay_.Add(std::move(t));
+}
+
+size_t DqnAgent::StoreWithFutureValue(Transition t, double future_value) {
+  if (!config_.recompute_targets_on_replay) {
+    t.target = static_cast<double>(t.reward) + config_.gamma * future_value;
+    t.future.Clear();
+  }
+  ++store_count_;
+  return replay_.Add(std::move(t));
+}
+
+bool DqnAgent::MaybeLearn() {
+  if (config_.learn_every > 1 &&
+      store_count_ % config_.learn_every != 0) {
+    return false;
+  }
+  return LearnStep();
+}
+
+bool DqnAgent::LearnStep() {
+  const size_t batch = config_.batch_size;
+  if (replay_.size() < batch) return false;
+
+  auto samples = replay_.SampleBatch(batch, &rng_);
+
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t chunks = std::max<size_t>(
+      1, std::min({pool.num_threads(), batch, static_cast<size_t>(16)}));
+  if (chunk_grads_.size() < chunks) {
+    chunk_grads_.resize(chunks);
+    for (auto& g : chunk_grads_) {
+      if (g.g.empty()) g = online_.MakeGradients();
+    }
+  }
+  for (size_t c = 0; c < chunks; ++c) chunk_grads_[c].SetZero();
+
+  std::vector<double> td(batch, 0.0);
+  std::vector<double> weighted_sq(batch, 0.0);
+  pool.ParallelFor(chunks, [&](size_t ci) {
+    const size_t lo = ci * batch / chunks;
+    const size_t hi = (ci + 1) * batch / chunks;
+    SetQNetwork::Cache cache;
+    for (size_t i = lo; i < hi; ++i) {
+      const Transition& tr = replay_.at(samples[i].slot);
+      const double y = config_.recompute_targets_on_replay
+                           ? ComputeTarget(tr.reward, tr.future)
+                           : tr.target;
+      const Matrix q = online_.Forward(tr.state, tr.valid_n, &cache);
+      CROWDRL_CHECK(tr.action_row >= 0 &&
+                    tr.action_row < static_cast<int>(q.rows()));
+      const double delta = q(tr.action_row, 0) - y;
+      td[i] = delta;
+      weighted_sq[i] = samples[i].weight * delta * delta;
+      // d(w·δ²)/dq = 2·w·δ at the action row; zero elsewhere.
+      Matrix dq(q.rows(), 1);
+      dq(tr.action_row, 0) =
+          static_cast<float>(2.0 * samples[i].weight * delta);
+      online_.Backward(dq, cache, &chunk_grads_[ci]);
+    }
+  });
+
+  for (size_t c = 1; c < chunks; ++c) chunk_grads_[0].Add(chunk_grads_[c]);
+  optimizer_.Step(chunk_grads_[0].g, 1.0 / static_cast<double>(batch));
+
+  double loss = 0;
+  for (size_t i = 0; i < batch; ++i) {
+    replay_.UpdatePriority(samples[i].slot, td[i]);
+    loss += weighted_sq[i];
+  }
+  last_loss_ = loss / static_cast<double>(batch);
+
+  ++learn_steps_;
+  if (config_.target_sync_every > 0 &&
+      learn_steps_ % config_.target_sync_every == 0) {
+    target_.CopyFrom(online_);
+  }
+  return true;
+}
+
+}  // namespace crowdrl

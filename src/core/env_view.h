@@ -1,0 +1,38 @@
+#ifndef CROWDRL_CORE_ENV_VIEW_H_
+#define CROWDRL_CORE_ENV_VIEW_H_
+
+#include "core/features.h"
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// \brief Read-only window onto the *observable* platform state, handed to
+/// policies that need more than the per-arrival Observation (the DRL
+/// framework's future-state predictors must, e.g., enumerate all previously
+/// seen workers with their features and qualities to form the expected next
+/// worker of Eq. 6).
+///
+/// Only information a real platform possesses is exposed: the shared
+/// feature builder, qualification-test worker qualities and current task
+/// qualities. Latent simulator ground truth (worker preferences) is *not*
+/// reachable through this interface.
+class EnvView {
+ public:
+  virtual ~EnvView() = default;
+
+  /// The shared real-time feature store.
+  virtual const FeatureBuilder& features() const = 0;
+
+  /// q_w from qualification tests / answer history.
+  virtual double WorkerQuality(WorkerId worker) const = 0;
+
+  /// Current Dixit–Stiglitz quality of a task.
+  virtual double TaskQuality(TaskId task) const = 0;
+
+  /// Current simulation time.
+  virtual SimTime now() const = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_CORE_ENV_VIEW_H_

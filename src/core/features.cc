@@ -1,0 +1,121 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+FeatureBuilder::FeatureBuilder(const FeatureConfig& config, size_t num_workers,
+                               size_t num_tasks)
+    : config_(config) {
+  CROWDRL_CHECK(config.num_categories > 0 && config.num_domains > 0 &&
+                config.award_buckets > 0);
+  task_cache_.resize(num_tasks);
+  task_cached_.assign(num_tasks, 0);
+  worker_history_.resize(num_workers);
+  for (auto& h : worker_history_) {
+    h.decayed_sum.assign(task_dim(), 0.0f);
+  }
+}
+
+size_t FeatureBuilder::task_dim() const {
+  return static_cast<size_t>(config_.num_categories + config_.num_domains +
+                             config_.award_buckets);
+}
+
+int FeatureBuilder::AwardBucket(double award) const {
+  const double la = std::log(std::max(award, 1e-9));
+  const double frac = (la - config_.award_log_min) /
+                      (config_.award_log_max - config_.award_log_min);
+  const int bucket = static_cast<int>(frac * config_.award_buckets);
+  return std::clamp(bucket, 0, config_.award_buckets - 1);
+}
+
+const std::vector<float>& FeatureBuilder::TaskFeature(const Task& task) const {
+  CROWDRL_CHECK(task.id >= 0 &&
+                task.id < static_cast<TaskId>(task_cache_.size()));
+  if (!task_cached_[task.id]) {
+    std::vector<float> f(task_dim(), 0.0f);
+    CROWDRL_CHECK(task.category >= 0 && task.category < config_.num_categories);
+    CROWDRL_CHECK(task.domain >= 0 && task.domain < config_.num_domains);
+    f[task.category] = 1.0f;
+    f[config_.num_categories + task.domain] = 1.0f;
+    f[config_.num_categories + config_.num_domains +
+      AwardBucket(task.award)] = 1.0f;
+    task_cache_[task.id] = std::move(f);
+    task_cached_[task.id] = 1;
+  }
+  return task_cache_[task.id];
+}
+
+void FeatureBuilder::DecayTo(WorkerHistory* h, SimTime now) const {
+  if (now <= h->last_update) return;
+  const double dt_days = static_cast<double>(now - h->last_update) /
+                         static_cast<double>(kMinutesPerDay);
+  const double factor =
+      std::exp(-0.6931471805599453 * dt_days / config_.history_halflife_days);
+  for (auto& v : h->decayed_sum) v = static_cast<float>(v * factor);
+  h->total_weight *= factor;
+  h->last_update = now;
+}
+
+void FeatureBuilder::RecordCompletion(WorkerId worker, const Task& task,
+                                      SimTime now) {
+  CROWDRL_CHECK(worker >= 0 &&
+                worker < static_cast<WorkerId>(worker_history_.size()));
+  WorkerHistory& h = worker_history_[worker];
+  DecayTo(&h, now);
+  const auto& ft = TaskFeature(task);
+  for (size_t i = 0; i < ft.size(); ++i) h.decayed_sum[i] += ft[i];
+  h.total_weight += 1.0;
+}
+
+void FeatureBuilder::WorkerFeatureInto(WorkerId worker, SimTime now,
+                                       std::vector<float>* out) const {
+  CROWDRL_CHECK(worker >= 0 &&
+                worker < static_cast<WorkerId>(worker_history_.size()));
+  WorkerHistory& h = worker_history_[worker];
+  DecayTo(&h, now);
+  out->assign(h.decayed_sum.begin(), h.decayed_sum.end());
+  double sum = 0;
+  for (float v : *out) sum += v;
+  if (sum > 1e-9) {
+    const float inv = static_cast<float>(1.0 / sum);
+    for (auto& v : *out) v *= inv;
+  }
+  // Cold workers keep the all-zero feature: "no known history".
+}
+
+std::vector<float> FeatureBuilder::WorkerFeature(WorkerId worker,
+                                                 SimTime now) const {
+  std::vector<float> out;
+  WorkerFeatureInto(worker, now, &out);
+  return out;
+}
+
+std::vector<float> FeatureBuilder::MeanWorkerFeature(
+    SimTime now, const std::vector<int>& workers) const {
+  std::vector<float> acc(task_dim(), 0.0f);
+  if (workers.empty()) return acc;
+  std::vector<float> buf;
+  for (int w : workers) {
+    WorkerFeatureInto(w, now, &buf);
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] += buf[i];
+  }
+  const float inv = 1.0f / static_cast<float>(workers.size());
+  for (auto& v : acc) v *= inv;
+  return acc;
+}
+
+double FeatureBuilder::WorkerHistoryWeight(WorkerId worker,
+                                           SimTime now) const {
+  CROWDRL_CHECK(worker >= 0 &&
+                worker < static_cast<WorkerId>(worker_history_.size()));
+  WorkerHistory& h = worker_history_[worker];
+  DecayTo(&h, now);
+  return h.total_weight;
+}
+
+}  // namespace crowdrl

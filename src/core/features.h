@@ -1,0 +1,95 @@
+#ifndef CROWDRL_CORE_FEATURES_H_
+#define CROWDRL_CORE_FEATURES_H_
+
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// Feature-space configuration (paper Sec. IV-A).
+struct FeatureConfig {
+  int num_categories = 10;
+  int num_domains = 8;
+  /// Award is "a continuous attribute which needs to be discretized":
+  /// log-spaced buckets over [award_log_min, award_log_max] (ln dollars).
+  int award_buckets = 6;
+  double award_log_min = 3.0;  ///< ≈ $20
+  double award_log_max = 7.5;  ///< ≈ $1800
+  /// Worker features are "the distribution of recently completed tasks";
+  /// we realize "recently" as an exponential decay with this half-life.
+  double history_halflife_days = 14.0;
+};
+
+/// \brief Builds and maintains the observable features of tasks and workers.
+///
+/// Task feature (static): one-hot(category) ⊕ one-hot(domain) ⊕
+/// one-hot(award bucket) — remuneration, autonomy and skill variety, the
+/// top-3 worker motivations of [14]. Cached per task id.
+///
+/// Worker feature (dynamic): the exponentially-decayed, L1-normalized sum of
+/// the features of the tasks the worker recently completed — i.e. the
+/// "distribution of recently completed tasks" of Sec. IV-A2, updated in
+/// real time by `RecordCompletion` and queried lazily with decay-to-now.
+///
+/// One FeatureBuilder is shared by *all* policies in an experiment ("the
+/// worker and task features of all these methods are updated in real-time"),
+/// so no method gains an information advantage.
+class FeatureBuilder {
+ public:
+  FeatureBuilder(const FeatureConfig& config, size_t num_workers,
+                 size_t num_tasks);
+
+  const FeatureConfig& config() const { return config_; }
+
+  /// Dimensionality of task features (= C + D + B).
+  size_t task_dim() const;
+  /// Worker features live in the same space as task features.
+  size_t worker_dim() const { return task_dim(); }
+
+  /// Static feature of `task` (cached; reference stable until destruction).
+  const std::vector<float>& TaskFeature(const Task& task) const;
+
+  /// Discretized award bucket in [0, award_buckets).
+  int AwardBucket(double award) const;
+
+  /// Registers a completion: decays the worker's history to `now` and adds
+  /// the completed task's feature.
+  void RecordCompletion(WorkerId worker, const Task& task, SimTime now);
+
+  /// Normalized worker feature at `now` (copy).
+  std::vector<float> WorkerFeature(WorkerId worker, SimTime now) const;
+
+  /// Writes the normalized worker feature into `*out` (resized; avoids
+  /// per-call allocation in tight expectation loops).
+  void WorkerFeatureInto(WorkerId worker, SimTime now,
+                         std::vector<float>* out) const;
+
+  /// Decayed mean of all workers' normalized features — the paper's proxy
+  /// feature for not-yet-seen workers ("we use the average feature of old
+  /// workers to represent the feature of new workers").
+  std::vector<float> MeanWorkerFeature(SimTime now,
+                                       const std::vector<int>& workers) const;
+
+  /// Total (decayed) completion weight of a worker's history; 0 = cold.
+  double WorkerHistoryWeight(WorkerId worker, SimTime now) const;
+
+ private:
+  struct WorkerHistory {
+    std::vector<float> decayed_sum;  // unnormalized
+    SimTime last_update = 0;
+    double total_weight = 0;
+  };
+
+  void DecayTo(WorkerHistory* h, SimTime now) const;
+
+  FeatureConfig config_;
+  mutable std::vector<std::vector<float>> task_cache_;
+  mutable std::vector<uint8_t> task_cached_;
+  mutable std::vector<WorkerHistory> worker_history_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_CORE_FEATURES_H_

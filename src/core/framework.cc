@@ -1,0 +1,387 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace crowdrl {
+
+FrameworkConfig FrameworkConfig::Defaults() {
+  FrameworkConfig cfg;
+  cfg.worker_dqn.gamma = 0.3;     // Sec. VII-B1
+  cfg.requester_dqn.gamma = 0.5;  // Sec. VII-B1
+  cfg.worker_dqn.seed = 0x1111;
+  cfg.requester_dqn.seed = 0x2222;
+  return cfg;
+}
+
+namespace {
+
+StateConfig WithQuality(StateConfig base, bool include_quality) {
+  base.include_quality = include_quality;
+  return base;
+}
+
+}  // namespace
+
+TaskArrangementFramework::TaskArrangementFramework(
+    const FrameworkConfig& config, const EnvView* env,
+    size_t worker_feature_dim, size_t task_feature_dim)
+    : config_(config),
+      env_(env),
+      worker_state_(WithQuality(config.state, /*include_quality=*/false),
+                    worker_feature_dim, task_feature_dim),
+      requester_state_(WithQuality(config.state, /*include_quality=*/true),
+                       worker_feature_dim, task_feature_dim),
+      predictor_w_(config.predictor, &worker_state_),
+      predictor_r_(config.predictor, &requester_state_),
+      aggregator_(config.objective == Objective::kWorkerBenefit ? 1.0
+                  : config.objective == Objective::kRequesterBenefit
+                      ? 0.0
+                      : config.worker_weight),
+      arrivals_(config.arrival),
+      explorer_(config.explorer, config.seed ^ 0xE1ULL),
+      rng_(config.seed) {
+  CROWDRL_CHECK(env != nullptr);
+  if (use_worker_net()) {
+    DqnAgentConfig wc = config_.worker_dqn;
+    wc.net.input_dim = worker_state_.input_dim();
+    worker_agent_ = std::make_unique<DqnAgent>(wc);
+    config_.worker_dqn = wc;
+  }
+  if (use_requester_net()) {
+    DqnAgentConfig rc = config_.requester_dqn;
+    rc.net.input_dim = requester_state_.input_dim();
+    requester_agent_ = std::make_unique<DqnAgent>(rc);
+    config_.requester_dqn = rc;
+  }
+}
+
+std::string TaskArrangementFramework::name() const {
+  switch (config_.objective) {
+    case Objective::kWorkerBenefit:
+      return "DDQN";
+    case Objective::kRequesterBenefit:
+      return "DDQN";
+    case Objective::kBalanced: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "DDQN(w=%.2f)",
+                    aggregator_.worker_weight());
+      return buf;
+    }
+  }
+  return "DDQN";
+}
+
+void TaskArrangementFramework::OnArrival(const Observation& obs) {
+  // The "Worker Arrivals' Statistic" of Fig. 2 tracks every arrival, also
+  // during warm-up, exactly like the paper initializes φ/ϕ from history.
+  arrivals_.RecordArrival(obs.worker, obs.time);
+}
+
+std::vector<double> TaskArrangementFramework::CombinedScores(
+    const Observation& obs) const {
+  if (obs.tasks.empty()) return {};
+  std::vector<double> qw, qr;
+  size_t n = 0;
+  if (use_worker_net()) {
+    const BuiltState s = worker_state_.Build(obs);
+    qw = worker_agent_->Scores(s.matrix, s.valid_n);
+    n = qw.size();
+  }
+  if (use_requester_net()) {
+    const BuiltState s = requester_state_.Build(obs);
+    qr = requester_agent_->Scores(s.matrix, s.valid_n);
+    n = qr.size();
+  }
+  if (qw.empty()) return qr;
+  if (qr.empty()) return qw;
+  (void)n;
+  return aggregator_.Combine(qw, qr);
+}
+
+std::vector<int> TaskArrangementFramework::Rank(const Observation& obs) {
+  if (obs.tasks.empty()) return {};
+
+  Pending pending;
+  std::vector<double> qw, qr;
+  if (use_worker_net()) {
+    pending.worker_built = worker_state_.Build(obs);
+    qw = worker_agent_->Scores(pending.worker_built.matrix,
+                               pending.worker_built.valid_n);
+  }
+  if (use_requester_net()) {
+    pending.requester_built = requester_state_.Build(obs);
+    qr = requester_agent_->Scores(pending.requester_built.matrix,
+                                  pending.requester_built.valid_n);
+  }
+  const std::vector<int>& row_to_task = use_worker_net()
+                                            ? pending.worker_built.row_to_task
+                                            : pending.requester_built.row_to_task;
+  if (use_worker_net() && use_requester_net()) {
+    CROWDRL_CHECK(pending.worker_built.row_to_task ==
+                  pending.requester_built.row_to_task);
+  }
+  std::vector<double> combined;
+  if (qw.empty()) {
+    combined = std::move(qr);
+  } else if (qr.empty()) {
+    combined = std::move(qw);
+  } else {
+    combined = aggregator_.Combine(qw, qr);
+  }
+
+  // Explore: ε-greedy for single assignment, Gaussian Q-noise for lists.
+  std::vector<int> row_order;
+  if (config_.action_mode == ActionMode::kAssignOne) {
+    const int chosen = explorer_.SelectAssign(combined);
+    row_order = Explorer::GreedyRank(combined);
+    auto it = std::find(row_order.begin(), row_order.end(), chosen);
+    std::rotate(row_order.begin(), it, it + 1);
+  } else {
+    row_order = explorer_.RankList(combined);
+  }
+  explorer_.Step();
+
+  // Map rows back to observation task indices; truncated-away tasks (pool
+  // beyond maxT) go to the back of the list in observation order.
+  std::vector<int> ranking;
+  ranking.reserve(obs.tasks.size());
+  std::vector<uint8_t> in_state(obs.tasks.size(), 0);
+  for (int row : row_order) {
+    ranking.push_back(row_to_task[row]);
+    in_state[row_to_task[row]] = 1;
+  }
+  for (size_t i = 0; i < obs.tasks.size(); ++i) {
+    if (!in_state[i]) ranking.push_back(static_cast<int>(i));
+  }
+
+  pending.task_to_row.assign(obs.tasks.size(), -1);
+  for (size_t row = 0; row < row_to_task.size(); ++row) {
+    pending.task_to_row[row_to_task[row]] = static_cast<int>(row);
+  }
+  pending_[obs.arrival_index] = std::move(pending);
+  // Bound the backlog: decisions whose feedback never arrives (e.g. a
+  // worker who walked away in the delayed-feedback scenario) are dropped
+  // oldest-first.
+  while (pending_.size() > kMaxPendingDecisions) {
+    pending_.erase(pending_.begin());
+  }
+  return ranking;
+}
+
+std::vector<std::pair<int, float>> TaskArrangementFramework::ExaminedOutcomes(
+    const std::vector<int>& ranking, const Feedback& feedback,
+    bool quality_reward) const {
+  // Cascade semantics: the worker examined every position up to the
+  // completed one (all of them on a total skip). The completed position
+  // yields its reward; the examined-but-skipped prefix yields 0 and is
+  // capped at max_failed_stored entries.
+  std::vector<std::pair<int, float>> outcomes;
+  const int last_seen = feedback.completed_pos >= 0
+                            ? feedback.completed_pos
+                            : static_cast<int>(ranking.size()) - 1;
+  size_t failed = 0;
+  for (int pos = 0; pos <= last_seen; ++pos) {
+    if (pos == feedback.completed_pos) {
+      outcomes.emplace_back(
+          ranking[pos],
+          quality_reward ? static_cast<float>(feedback.quality_gain) : 1.0f);
+    } else if (failed < config_.max_failed_stored) {
+      outcomes.emplace_back(ranking[pos], 0.0f);
+      ++failed;
+    }
+  }
+  return outcomes;
+}
+
+void TaskArrangementFramework::StoreWorkerTransitions(
+    const Observation& obs, const BuiltState& state,
+    const std::vector<int>& task_to_row, const std::vector<int>& ranking,
+    const Feedback& feedback) {
+  // Post-feedback worker feature (the FeatureBuilder was already updated by
+  // the harness) and post-completion task qualities.
+  const auto updated_fw = env_->features().WorkerFeature(obs.worker, obs.time);
+  FutureStateSpec future = predictor_w_.PredictSameWorker(
+      obs, updated_fw, obs.worker_quality, arrivals_);
+  const double future_value = worker_agent_->ComputeFutureValue(future);
+
+  for (const auto& [task_idx, reward] :
+       ExaminedOutcomes(ranking, feedback, /*quality_reward=*/false)) {
+    const int row = task_to_row[task_idx];
+    if (row < 0) continue;  // task was truncated out of the state
+    Transition t;
+    t.state = state.matrix;
+    t.valid_n = state.valid_n;
+    t.action_row = row;
+    t.reward = reward;
+    if (worker_agent_->config().recompute_targets_on_replay) {
+      t.future = future;  // keep the spec alive for replay-time targets
+      worker_agent_->Store(std::move(t));
+    } else {
+      worker_agent_->StoreWithFutureValue(std::move(t), future_value);
+    }
+    worker_agent_->MaybeLearn();
+  }
+}
+
+void TaskArrangementFramework::StoreRequesterTransitions(
+    const Observation& obs, const BuiltState& state,
+    const std::vector<int>& task_to_row, const std::vector<int>& ranking,
+    const Feedback& feedback) {
+  // Post-completion task qualities for the future state rows.
+  std::vector<double> quality_now(obs.tasks.size());
+  for (size_t i = 0; i < obs.tasks.size(); ++i) {
+    quality_now[i] = env_->TaskQuality(obs.tasks[i].id);
+  }
+  FutureStateSpec future =
+      predictor_r_.PredictNextWorker(obs, arrivals_, *env_, &quality_now);
+  const double future_value = requester_agent_->ComputeFutureValue(future);
+
+  for (const auto& [task_idx, reward] :
+       ExaminedOutcomes(ranking, feedback, /*quality_reward=*/true)) {
+    const int row = task_to_row[task_idx];
+    if (row < 0) continue;
+    Transition t;
+    t.state = state.matrix;
+    t.valid_n = state.valid_n;
+    t.action_row = row;
+    t.reward = reward;
+    if (requester_agent_->config().recompute_targets_on_replay) {
+      t.future = future;
+      requester_agent_->Store(std::move(t));
+    } else {
+      requester_agent_->StoreWithFutureValue(std::move(t), future_value);
+    }
+    requester_agent_->MaybeLearn();
+  }
+}
+
+void TaskArrangementFramework::OnFeedback(const Observation& obs,
+                                          const std::vector<int>& ranking,
+                                          const Feedback& feedback) {
+  auto it = pending_.find(obs.arrival_index);
+  if (it == pending_.end()) {
+    return;  // feedback for a decision we did not make (defensive)
+  }
+  const Pending& pending = it->second;
+  if (use_worker_net()) {
+    StoreWorkerTransitions(obs, pending.worker_built, pending.task_to_row,
+                           ranking, feedback);
+  }
+  if (use_requester_net()) {
+    StoreRequesterTransitions(obs, pending.requester_built,
+                              pending.task_to_row, ranking, feedback);
+  }
+  pending_.erase(it);
+}
+
+void TaskArrangementFramework::OnHistory(const Observation& obs,
+                                         const std::vector<int>& browse_order,
+                                         int completed_pos,
+                                         double quality_gain) {
+  if (!config_.learn_from_history || obs.tasks.empty()) return;
+  // Replay the historical arrival exactly like live feedback: the browsed
+  // prefix yields one positive transition (the completion) and capped known
+  // skips — "we use the data in the first month to initialize … the
+  // learning model".
+  Feedback feedback;
+  if (completed_pos >= 0) {
+    CROWDRL_CHECK(completed_pos < static_cast<int>(browse_order.size()));
+    feedback.completed_pos = completed_pos;
+    feedback.completed_index = browse_order[completed_pos];
+    feedback.quality_gain = quality_gain;
+  }
+  auto task_to_row_of = [&](const BuiltState& s) {
+    std::vector<int> task_to_row(obs.tasks.size(), -1);
+    for (size_t r = 0; r < s.row_to_task.size(); ++r) {
+      task_to_row[s.row_to_task[r]] = static_cast<int>(r);
+    }
+    return task_to_row;
+  };
+  if (use_worker_net()) {
+    const BuiltState s = worker_state_.Build(obs);
+    StoreWorkerTransitions(obs, s, task_to_row_of(s), browse_order, feedback);
+  }
+  if (use_requester_net()) {
+    const BuiltState s = requester_state_.Build(obs);
+    StoreRequesterTransitions(obs, s, task_to_row_of(s), browse_order,
+                              feedback);
+  }
+}
+
+void TaskArrangementFramework::OnInitEnd() {
+  if (!config_.learn_from_history) return;
+  for (int i = 0; i < config_.warmup_learn_steps; ++i) {
+    bool stepped = false;
+    if (worker_agent_) stepped |= worker_agent_->LearnStep();
+    if (requester_agent_) stepped |= requester_agent_->LearnStep();
+    if (!stepped) break;  // warm-up buffers below one batch
+  }
+}
+
+int64_t TaskArrangementFramework::transitions_stored() const {
+  int64_t n = 0;
+  if (worker_agent_) n += worker_agent_->stored();
+  if (requester_agent_) n += requester_agent_->stored();
+  return n;
+}
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x43445231;  // "CDR1"
+}  // namespace
+
+Status TaskArrangementFramework::SaveState(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  uint32_t magic = kCheckpointMagic;
+  f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  uint8_t nets[2] = {worker_agent_ != nullptr, requester_agent_ != nullptr};
+  f.write(reinterpret_cast<const char*>(nets), sizeof(nets));
+  if (worker_agent_) {
+    CROWDRL_RETURN_NOT_OK(worker_agent_->online().Save(&f));
+  }
+  if (requester_agent_) {
+    CROWDRL_RETURN_NOT_OK(requester_agent_->online().Save(&f));
+  }
+  CROWDRL_RETURN_NOT_OK(arrivals_.Save(&f));
+  if (!f.good()) return Status::IoError("checkpoint write failed");
+  return Status::OK();
+}
+
+Status TaskArrangementFramework::LoadState(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!f.good() || magic != kCheckpointMagic) {
+    return Status::IoError("not a crowdrl checkpoint: " + path);
+  }
+  uint8_t nets[2];
+  f.read(reinterpret_cast<char*>(nets), sizeof(nets));
+  if (!f.good()) return Status::IoError("checkpoint header read failed");
+  if (static_cast<bool>(nets[0]) != (worker_agent_ != nullptr) ||
+      static_cast<bool>(nets[1]) != (requester_agent_ != nullptr)) {
+    return Status::InvalidArgument(
+        "checkpoint objective does not match this framework's");
+  }
+  auto restore_agent = [&](DqnAgent* agent) -> Status {
+    SetQNetwork net;
+    CROWDRL_RETURN_NOT_OK(net.Load(&f));
+    if (net.config().input_dim != agent->online().config().input_dim ||
+        net.config().hidden_dim != agent->online().config().hidden_dim) {
+      return Status::InvalidArgument("checkpoint network shape mismatch");
+    }
+    agent->online().CopyFrom(net);
+    agent->SyncTarget();
+    return Status::OK();
+  };
+  if (worker_agent_) CROWDRL_RETURN_NOT_OK(restore_agent(worker_agent_.get()));
+  if (requester_agent_) {
+    CROWDRL_RETURN_NOT_OK(restore_agent(requester_agent_.get()));
+  }
+  CROWDRL_RETURN_NOT_OK(arrivals_.Load(&f));
+  return Status::OK();
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,121 @@
+#ifndef CROWDRL_CORE_POLICY_H_
+#define CROWDRL_CORE_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// Which side of the market a policy instance optimizes — competitors are
+/// configured per experiment (Sec. VII-B2 vs VII-B3); the DRL framework can
+/// additionally balance both (Sec. VI-A).
+enum class Objective {
+  kWorkerBenefit,     ///< maximize completion rate (CR/kCR/nDCG-CR)
+  kRequesterBenefit,  ///< maximize quality gain (QG/kQG/nDCG-QG)
+  kBalanced,          ///< weighted combination (Fig. 9)
+};
+
+/// How the arrangement is delivered to the worker.
+enum class ActionMode {
+  kAssignOne,  ///< platform assigns a single task (CR / QG metrics)
+  kRankList,   ///< platform shows a ranked list (kCR / nDCG metrics)
+};
+
+/// Platform-observable snapshot of one available task at decision time.
+struct TaskSnapshot {
+  TaskId id = kInvalidTask;
+  int category = 0;
+  int domain = 0;
+  double award = 0.0;
+  SimTime deadline = 0;
+  /// Static one-hot feature vector (owned by the shared FeatureBuilder).
+  const std::vector<float>* features = nullptr;
+  /// Current Dixit–Stiglitz quality q_t.
+  double quality = 0.0;
+};
+
+/// Platform-observable state at a worker arrival: the (f_w, {T_i}) pair
+/// from which every method builds its prediction.
+struct Observation {
+  SimTime time = 0;
+  int64_t arrival_index = 0;  ///< global arrival counter (timestamp i)
+  WorkerId worker = kInvalidWorker;
+  double worker_quality = 0.5;  ///< q_w (qualification-test estimate)
+  /// Recent-completion-distribution feature f_w (owned by FeatureBuilder;
+  /// valid only during the callback).
+  std::vector<float> worker_features;
+  std::vector<TaskSnapshot> tasks;  ///< the available pool {T_i}
+};
+
+/// Outcome of one arrangement, as quantified by the feedback transformers.
+struct Feedback {
+  /// Position in the recommended ranking that was completed (0-based);
+  /// -1 when the worker skipped everything.
+  int completed_pos = -1;
+  /// Index into Observation::tasks of the completed task; -1 if none.
+  int completed_index = -1;
+  /// Task-quality gain realized by the completion (MDP(r) reward).
+  double quality_gain = 0.0;
+};
+
+/// \brief Interface every arrangement method implements — the five
+/// baselines of Sec. VII-A3 and the paper's DRL framework itself.
+///
+/// Contract: the harness calls, in order and for every arrival,
+///   1. `OnArrival(obs)`   — always (including warm-up months);
+///   2. `Rank(obs)`        — evaluation arrivals only;
+///   3. `OnFeedback(...)`  — after simulating the worker's decision;
+/// plus `OnHistory` during the initialization month (replayed completions
+/// used to warm-start models, cf. "we use the data in the first month to
+/// initialize the feature of workers and tasks and the learning model") and
+/// `OnDayEnd` at day boundaries (supervised baselines retrain "at the end
+/// of each day").
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Observes an arrival (even outside evaluation). Default: no-op.
+  virtual void OnArrival(const Observation& obs) { (void)obs; }
+
+  /// Returns a ranking of `obs.tasks` indices, best first. In
+  /// kAssignOne mode only the first entry is shown to the worker.
+  virtual std::vector<int> Rank(const Observation& obs) = 0;
+
+  /// Receives the worker's reaction to `ranking`. The shared FeatureBuilder
+  /// and task qualities have already been updated when this is invoked.
+  virtual void OnFeedback(const Observation& obs,
+                          const std::vector<int>& ranking,
+                          const Feedback& feedback) = 0;
+
+  /// Replayed warm-up arrival (initialization month): the worker browsed
+  /// the pool in `browse_order` (indices into obs.tasks, unpersonalized
+  /// order) and completed the task at position `completed_pos` (or nothing
+  /// when -1), realizing `quality_gain`. Under the cascade model the
+  /// browsed prefix up to the completion is known skips — "the remaining
+  /// tasks that workers see but skip are considered not interesting" — so
+  /// policies can warm-start discriminatively.
+  virtual void OnHistory(const Observation& obs,
+                         const std::vector<int>& browse_order,
+                         int completed_pos, double quality_gain) {
+    (void)obs;
+    (void)browse_order;
+    (void)completed_pos;
+    (void)quality_gain;
+  }
+
+  /// Fired once when the initialization window closes ("we use the data in
+  /// the first month to initialize … the learning model"). Learning
+  /// policies may digest their warm-up buffers here.
+  virtual void OnInitEnd() {}
+
+  /// Day boundary hook; supervised baselines retrain here.
+  virtual void OnDayEnd(SimTime now) { (void)now; }
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_CORE_POLICY_H_

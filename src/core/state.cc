@@ -1,0 +1,77 @@
+#include "core/state.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+StateTransformer::StateTransformer(const StateConfig& config,
+                                   size_t worker_dim, size_t task_dim)
+    : config_(config), worker_dim_(worker_dim), task_dim_(task_dim) {
+  CROWDRL_CHECK(worker_dim > 0 && task_dim > 0);
+}
+
+size_t StateTransformer::input_dim() const {
+  return worker_dim_ + task_dim_ +
+         (config_.include_interaction ? std::min(worker_dim_, task_dim_)
+                                      : 0) +
+         (config_.include_quality ? 2 : 0);
+}
+
+BuiltState StateTransformer::Build(const Observation& obs) const {
+  std::vector<int> order(obs.tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (config_.max_tasks > 0 && order.size() > config_.max_tasks) {
+    // Keep the maxT tasks that remain available the longest.
+    std::nth_element(order.begin(), order.begin() + config_.max_tasks - 1,
+                     order.end(), [&](int a, int b) {
+                       return obs.tasks[a].deadline > obs.tasks[b].deadline;
+                     });
+    order.resize(config_.max_tasks);
+    std::sort(order.begin(), order.end());  // restore observation order
+  }
+  return BuildWithWorker(obs.worker_features, obs.worker_quality, obs, order);
+}
+
+BuiltState StateTransformer::BuildWithWorker(
+    const std::vector<float>& worker_features, double worker_quality,
+    const Observation& obs, const std::vector<int>& order,
+    const std::vector<double>* quality_override) const {
+  CROWDRL_CHECK(worker_features.size() == worker_dim_);
+  BuiltState out;
+  out.valid_n = order.size();
+  const size_t rows = config_.pad_to_max && config_.max_tasks > 0
+                          ? std::max(config_.max_tasks, order.size())
+                          : order.size();
+  out.matrix = Matrix(rows, input_dim());
+  out.row_to_task = order;
+  for (size_t r = 0; r < order.size(); ++r) {
+    const TaskSnapshot& snap = obs.tasks[order[r]];
+    CROWDRL_CHECK(snap.features != nullptr &&
+                  snap.features->size() == task_dim_);
+    float* row = out.matrix.row_data(r);
+    std::copy(worker_features.begin(), worker_features.end(), row);
+    std::copy(snap.features->begin(), snap.features->end(),
+              row + worker_dim_);
+    size_t offset = worker_dim_ + task_dim_;
+    if (config_.include_interaction) {
+      const size_t inter = std::min(worker_dim_, task_dim_);
+      for (size_t i = 0; i < inter; ++i) {
+        row[offset + i] = worker_features[i] * (*snap.features)[i];
+      }
+      offset += inter;
+    }
+    if (config_.include_quality) {
+      const double qt = quality_override != nullptr
+                            ? (*quality_override)[order[r]]
+                            : snap.quality;
+      row[offset] = static_cast<float>(worker_quality);
+      row[offset + 1] = static_cast<float>(qt);
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,252 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace crowdrl {
+
+int64_t Dataset::CountEvents(EventType type) const {
+  int64_t n = 0;
+  for (const auto& e : events) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+size_t Dataset::LowerBoundEvent(SimTime t) const {
+  Event probe;
+  probe.time = t;
+  probe.type = EventType::kTaskCreated;
+  return std::lower_bound(events.begin(), events.end(), probe) -
+         events.begin();
+}
+
+Status Dataset::Validate() const {
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].id != static_cast<TaskId>(i)) {
+      return Status::Internal("task ids not dense");
+    }
+    if (tasks[i].deadline <= tasks[i].start) {
+      return Status::Internal("task with non-positive lifetime");
+    }
+  }
+  for (size_t i = 0; i < workers.size(); ++i) {
+    if (workers[i].id != static_cast<WorkerId>(i)) {
+      return Status::Internal("worker ids not dense");
+    }
+    if (static_cast<int>(workers[i].pref_category.size()) != num_categories ||
+        static_cast<int>(workers[i].pref_domain.size()) != num_domains) {
+      return Status::Internal("worker preference arity mismatch");
+    }
+  }
+  std::vector<uint8_t> created(tasks.size(), 0), expired(tasks.size(), 0);
+  SimTime prev = -1;
+  for (const auto& e : events) {
+    if (e.time < prev) return Status::Internal("events out of order");
+    prev = e.time;
+    switch (e.type) {
+      case EventType::kTaskCreated:
+        if (e.task < 0 || e.task >= static_cast<TaskId>(tasks.size())) {
+          return Status::Internal("create references unknown task");
+        }
+        if (created[e.task]++) return Status::Internal("double create");
+        break;
+      case EventType::kTaskExpired:
+        if (e.task < 0 || e.task >= static_cast<TaskId>(tasks.size())) {
+          return Status::Internal("expire references unknown task");
+        }
+        if (!created[e.task]) return Status::Internal("expire before create");
+        if (expired[e.task]++) return Status::Internal("double expire");
+        break;
+      case EventType::kWorkerArrival:
+        if (e.worker < 0 ||
+            e.worker >= static_cast<WorkerId>(workers.size())) {
+          return Status::Internal("arrival references unknown worker");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr uint32_t kDatasetMagic = 0x43445344;  // "CDSD"
+
+template <typename T>
+void WritePod(std::ostream* os, const T& v) {
+  os->write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream* is, T* v) {
+  is->read(reinterpret_cast<char*>(v), sizeof(T));
+  return is->good();
+}
+
+void WriteFloats(std::ostream* os, const std::vector<float>& v) {
+  const uint32_t n = static_cast<uint32_t>(v.size());
+  WritePod(os, n);
+  os->write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+bool ReadFloats(std::istream* is, std::vector<float>* v) {
+  uint32_t n = 0;
+  if (!ReadPod(is, &n) || n > (1u << 20)) return false;
+  v->resize(n);
+  is->read(reinterpret_cast<char*>(v->data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  return is->good();
+}
+
+}  // namespace
+
+Status Dataset::SaveToFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  WritePod(&f, kDatasetMagic);
+  WritePod(&f, static_cast<int32_t>(num_categories));
+  WritePod(&f, static_cast<int32_t>(num_domains));
+  WritePod(&f, static_cast<int32_t>(total_months));
+  WritePod(&f, static_cast<int32_t>(init_months));
+  WritePod(&f, static_cast<uint64_t>(tasks.size()));
+  for (const Task& t : tasks) {
+    WritePod(&f, t.id);
+    WritePod(&f, static_cast<int32_t>(t.category));
+    WritePod(&f, static_cast<int32_t>(t.domain));
+    WritePod(&f, t.award);
+    WritePod(&f, t.start);
+    WritePod(&f, t.deadline);
+  }
+  WritePod(&f, static_cast<uint64_t>(workers.size()));
+  for (const Worker& w : workers) {
+    WritePod(&f, w.id);
+    WritePod(&f, w.quality);
+    WritePod(&f, w.award_sensitivity);
+    WritePod(&f, w.pickiness);
+    WriteFloats(&f, w.pref_category);
+    WriteFloats(&f, w.pref_domain);
+  }
+  WritePod(&f, static_cast<uint64_t>(events.size()));
+  for (const Event& e : events) {
+    WritePod(&f, e.time);
+    WritePod(&f, static_cast<uint8_t>(e.type));
+    WritePod(&f, e.task);
+    WritePod(&f, e.worker);
+  }
+  if (!f.good()) return Status::IoError("dataset write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::LoadFromFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  if (!ReadPod(&f, &magic) || magic != kDatasetMagic) {
+    return Status::IoError("not a crowdrl dataset: " + path);
+  }
+  Dataset ds;
+  int32_t c = 0, d = 0, months = 0, init = 0;
+  uint64_t num_tasks = 0, num_workers = 0, num_events = 0;
+  if (!ReadPod(&f, &c) || !ReadPod(&f, &d) || !ReadPod(&f, &months) ||
+      !ReadPod(&f, &init) || !ReadPod(&f, &num_tasks)) {
+    return Status::IoError("dataset header read failed");
+  }
+  ds.num_categories = c;
+  ds.num_domains = d;
+  ds.total_months = months;
+  ds.init_months = init;
+  if (num_tasks > (1u << 26)) return Status::IoError("implausible task count");
+  ds.tasks.resize(num_tasks);
+  for (Task& t : ds.tasks) {
+    int32_t cat = 0, dom = 0;
+    if (!ReadPod(&f, &t.id) || !ReadPod(&f, &cat) || !ReadPod(&f, &dom) ||
+        !ReadPod(&f, &t.award) || !ReadPod(&f, &t.start) ||
+        !ReadPod(&f, &t.deadline)) {
+      return Status::IoError("task read failed");
+    }
+    t.category = cat;
+    t.domain = dom;
+  }
+  if (!ReadPod(&f, &num_workers) || num_workers > (1u << 26)) {
+    return Status::IoError("worker count read failed");
+  }
+  ds.workers.resize(num_workers);
+  for (Worker& w : ds.workers) {
+    if (!ReadPod(&f, &w.id) || !ReadPod(&f, &w.quality) ||
+        !ReadPod(&f, &w.award_sensitivity) || !ReadPod(&f, &w.pickiness) ||
+        !ReadFloats(&f, &w.pref_category) || !ReadFloats(&f, &w.pref_domain)) {
+      return Status::IoError("worker read failed");
+    }
+  }
+  if (!ReadPod(&f, &num_events) || num_events > (1u << 28)) {
+    return Status::IoError("event count read failed");
+  }
+  ds.events.resize(num_events);
+  for (Event& e : ds.events) {
+    uint8_t type = 0;
+    if (!ReadPod(&f, &e.time) || !ReadPod(&f, &type) ||
+        !ReadPod(&f, &e.task) || !ReadPod(&f, &e.worker)) {
+      return Status::IoError("event read failed");
+    }
+    e.type = static_cast<EventType>(type);
+  }
+  CROWDRL_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+Dataset ResampleArrivals(const Dataset& base, double rate, uint64_t seed) {
+  CROWDRL_CHECK(rate > 0);
+  Dataset out = base;
+  out.events.clear();
+  std::vector<const Event*> arrivals;
+  for (const auto& e : base.events) {
+    if (e.type == EventType::kWorkerArrival) {
+      arrivals.push_back(&e);
+    } else {
+      out.events.push_back(e);
+    }
+  }
+  Rng rng(seed);
+  const SimTime end = base.total_months * kMinutesPerMonth;
+  const size_t target =
+      static_cast<size_t>(rate * static_cast<double>(arrivals.size()));
+  std::vector<int> draws(arrivals.size(), 0);
+  for (size_t i = 0; i < target; ++i) {
+    ++draws[rng.UniformInt(arrivals.size())];
+  }
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    for (int d = 0; d < draws[i]; ++d) {
+      Event e = *arrivals[i];
+      if (d > 0) {
+        // Paper: "we add a delta time following a normal distribution where
+        // the mean and std are 1 day, to make their arrival times distinct."
+        const double delta =
+            rng.Normal(static_cast<double>(kMinutesPerDay),
+                       static_cast<double>(kMinutesPerDay));
+        e.time += static_cast<SimTime>(delta);
+        e.time = std::clamp<SimTime>(e.time, 0, end - 1);
+      }
+      out.events.push_back(e);
+    }
+  }
+  std::sort(out.events.begin(), out.events.end());
+  return out;
+}
+
+Dataset PerturbWorkerQualities(const Dataset& base, double noise_mean,
+                               double noise_std, uint64_t seed) {
+  Dataset out = base;
+  Rng rng(seed);
+  for (auto& w : out.workers) {
+    w.quality =
+        std::clamp(w.quality + rng.Normal(noise_mean, noise_std), 0.02, 1.0);
+  }
+  return out;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,60 @@
+#ifndef CROWDRL_DATA_DATASET_H_
+#define CROWDRL_DATA_DATASET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sim/event.h"
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// \brief A complete trace: task/worker registries plus the chronological
+/// event stream (task created / task expired / worker arrival).
+///
+/// Mirrors the paper's CrowdSpring crawl: 13 months total, where month 0
+/// ("Jan 2018") only initializes features, arrival statistics and models,
+/// and months 1..12 ("Feb 2018" – "Jan 2019") are evaluated.
+struct Dataset {
+  std::vector<Task> tasks;
+  std::vector<Worker> workers;
+  std::vector<Event> events;  ///< sorted chronologically
+
+  int num_categories = 0;
+  int num_domains = 0;
+  int total_months = 13;  ///< including the init month
+  int init_months = 1;    ///< leading months used only for warm-up
+
+  /// End of the initialization window.
+  SimTime InitEndTime() const { return init_months * kMinutesPerMonth; }
+
+  /// Totals, for sanity checks and Fig. 6-style reporting.
+  int64_t CountEvents(EventType type) const;
+
+  /// Index of the first event at or after `t` (events must be sorted).
+  size_t LowerBoundEvent(SimTime t) const;
+
+  /// Validates invariants: sorted events, dense ids, every expire following
+  /// its create, arrivals referencing real workers.
+  Status Validate() const;
+
+  /// Binary persistence, so a generated (or converted) trace can be shared
+  /// and replayed bit-identically across machines.
+  Status SaveToFile(const std::string& path) const;
+  static Result<Dataset> LoadFromFile(const std::string& path);
+};
+
+/// \brief Fig. 10(a/b) transform: resamples worker arrivals with
+/// replacement at `rate` (0.5 → 2.0 in the paper). An arrival drawn more
+/// than once gets a delta time from N(1 day, 1 day) so duplicated arrival
+/// times stay distinct; task events are untouched. Events are re-sorted.
+Dataset ResampleArrivals(const Dataset& base, double rate, uint64_t seed);
+
+/// \brief Fig. 10(c) transform: adds N(mean, std) noise to every worker's
+/// quality, clipping into [0.02, 1].
+Dataset PerturbWorkerQualities(const Dataset& base, double noise_mean,
+                               double noise_std, uint64_t seed);
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_DATA_DATASET_H_

@@ -1,0 +1,125 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "sim/platform.h"
+
+namespace crowdrl {
+
+namespace {
+
+std::vector<GapBin> MakeBins(SimTime bin_width, SimTime max_gap) {
+  std::vector<GapBin> bins;
+  for (SimTime lo = 0; lo < max_gap; lo += bin_width) {
+    GapBin b;
+    b.lo = lo;
+    b.hi = std::min(lo + bin_width, max_gap);
+    bins.push_back(b);
+  }
+  return bins;
+}
+
+void AddToBins(std::vector<GapBin>* bins, SimTime gap, SimTime bin_width,
+               SimTime max_gap) {
+  if (gap < 0 || gap >= max_gap) return;
+  const size_t idx = static_cast<size_t>(gap / bin_width);
+  if (idx < bins->size()) ++(*bins)[idx].count;
+}
+
+}  // namespace
+
+std::vector<GapBin> TraceStats::SameWorkerGaps(const Dataset& ds,
+                                               SimTime bin_width,
+                                               SimTime max_gap) {
+  auto bins = MakeBins(bin_width, max_gap);
+  std::unordered_map<WorkerId, SimTime> last;
+  for (const auto& e : ds.events) {
+    if (e.type != EventType::kWorkerArrival) continue;
+    auto it = last.find(e.worker);
+    if (it != last.end()) {
+      AddToBins(&bins, e.time - it->second, bin_width, max_gap);
+      it->second = e.time;
+    } else {
+      last.emplace(e.worker, e.time);
+    }
+  }
+  return bins;
+}
+
+std::vector<GapBin> TraceStats::AnyWorkerGaps(const Dataset& ds,
+                                              SimTime bin_width,
+                                              SimTime max_gap) {
+  auto bins = MakeBins(bin_width, max_gap);
+  SimTime prev = -1;
+  for (const auto& e : ds.events) {
+    if (e.type != EventType::kWorkerArrival) continue;
+    if (prev >= 0) AddToBins(&bins, e.time - prev, bin_width, max_gap);
+    prev = e.time;
+  }
+  return bins;
+}
+
+std::vector<MonthlyStats> TraceStats::Monthly(const Dataset& ds) {
+  std::vector<MonthlyStats> out(ds.total_months);
+  for (int m = 0; m < ds.total_months; ++m) out[m].month = m;
+  Platform platform(ds.tasks, ds.workers);
+  std::vector<int64_t> pool_sum(ds.total_months, 0);
+  for (const auto& e : ds.events) {
+    const int m = std::min<int>(MonthOf(e.time), ds.total_months - 1);
+    CROWDRL_CHECK(platform.ApplyEvent(e).ok());
+    switch (e.type) {
+      case EventType::kTaskCreated:
+        ++out[m].new_tasks;
+        break;
+      case EventType::kTaskExpired:
+        ++out[m].expired_tasks;
+        break;
+      case EventType::kWorkerArrival:
+        ++out[m].worker_arrivals;
+        pool_sum[m] += static_cast<int64_t>(platform.available().size());
+        break;
+    }
+  }
+  for (int m = 0; m < ds.total_months; ++m) {
+    out[m].avg_available_tasks =
+        out[m].worker_arrivals == 0
+            ? 0.0
+            : static_cast<double>(pool_sum[m]) /
+                  static_cast<double>(out[m].worker_arrivals);
+  }
+  return out;
+}
+
+int64_t TraceStats::ActiveWorkers(const Dataset& ds) {
+  std::vector<uint8_t> seen(ds.workers.size(), 0);
+  int64_t n = 0;
+  for (const auto& e : ds.events) {
+    if (e.type == EventType::kWorkerArrival && !seen[e.worker]) {
+      seen[e.worker] = 1;
+      ++n;
+    }
+  }
+  return n;
+}
+
+double TraceStats::MedianSameWorkerGap(const Dataset& ds) {
+  std::unordered_map<WorkerId, SimTime> last;
+  std::vector<SimTime> gaps;
+  for (const auto& e : ds.events) {
+    if (e.type != EventType::kWorkerArrival) continue;
+    auto it = last.find(e.worker);
+    if (it != last.end()) {
+      gaps.push_back(e.time - it->second);
+      it->second = e.time;
+    } else {
+      last.emplace(e.worker, e.time);
+    }
+  }
+  if (gaps.empty()) return 0;
+  std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+  return static_cast<double>(gaps[gaps.size() / 2]);
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,55 @@
+#ifndef CROWDRL_DATA_STATS_H_
+#define CROWDRL_DATA_STATS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdrl {
+
+/// Per-month counters reproducing Fig. 6.
+struct MonthlyStats {
+  int month = 0;
+  int64_t new_tasks = 0;
+  int64_t expired_tasks = 0;
+  int64_t worker_arrivals = 0;
+  double avg_available_tasks = 0;  ///< mean pool size over arrivals
+};
+
+/// One histogram bin for Fig. 5-style plots.
+struct GapBin {
+  SimTime lo = 0;  ///< bin lower bound, minutes (inclusive)
+  SimTime hi = 0;  ///< bin upper bound, minutes (exclusive)
+  int64_t count = 0;
+};
+
+/// \brief Offline statistics over a trace — the raw material of Fig. 5 and
+/// Fig. 6, and of the initial (history-based) arrival model.
+class TraceStats {
+ public:
+  /// Histogram of gaps between two consecutive arrivals *of the same
+  /// worker* within [0, max_gap] minutes (Fig. 5(a)/(b)).
+  static std::vector<GapBin> SameWorkerGaps(const Dataset& ds,
+                                            SimTime bin_width,
+                                            SimTime max_gap);
+
+  /// Histogram of gaps between any two consecutive arrivals
+  /// (Fig. 5(c)).
+  static std::vector<GapBin> AnyWorkerGaps(const Dataset& ds,
+                                           SimTime bin_width, SimTime max_gap);
+
+  /// Per-month new/expired/arrival/pool-size statistics (Fig. 6). Replays
+  /// the event stream through a scratch platform to measure pool sizes.
+  static std::vector<MonthlyStats> Monthly(const Dataset& ds);
+
+  /// Number of distinct workers with at least one arrival.
+  static int64_t ActiveWorkers(const Dataset& ds);
+
+  /// Median same-worker return gap in minutes (paper: "the median value of
+  /// the time gap is one day").
+  static double MedianSameWorkerGap(const Dataset& ds);
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_DATA_STATS_H_

@@ -1,0 +1,249 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+SyntheticConfig SyntheticConfig::Scaled(double s) const {
+  CROWDRL_CHECK(s > 0);
+  SyntheticConfig out = *this;
+  out.scale = 1.0;  // already applied
+  out.tasks_per_month *= s;
+  out.arrivals_per_month *= s;
+  out.num_workers = std::max(8, static_cast<int>(num_workers * s));
+  return out;
+}
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticConfig& config)
+    : config_(config.scale == 1.0 ? config : config.Scaled(config.scale)) {}
+
+namespace {
+
+/// Zipf-ish popularity weights for `n` buckets with skew `s`.
+std::vector<double> ZipfWeights(int n, double s) {
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<Worker> SyntheticGenerator::GenerateWorkers(Rng* rng) const {
+  const auto& cfg = config_;
+  // Archetypes: each concentrates preference mass on a few categories and
+  // domains so that worker–task match is learnable.
+  struct Archetype {
+    std::vector<float> cat, dom;
+    double award_sens;
+  };
+  std::vector<Archetype> archetypes(cfg.num_archetypes);
+  for (auto& a : archetypes) {
+    a.cat.assign(cfg.num_categories, 0.0f);
+    a.dom.assign(cfg.num_domains, 0.0f);
+    // 2-3 favourite categories at high affinity, the rest low.
+    const int favs = 2 + static_cast<int>(rng->UniformInt(2));
+    for (int f = 0; f < favs; ++f) {
+      a.cat[rng->UniformInt(cfg.num_categories)] = 1.0f;
+    }
+    for (auto& v : a.cat) {
+      if (v == 0.0f) v = static_cast<float>(rng->Uniform(0.0, 0.25));
+    }
+    const int dfavs = 1 + static_cast<int>(rng->UniformInt(3));
+    for (int f = 0; f < dfavs; ++f) {
+      a.dom[rng->UniformInt(cfg.num_domains)] = 1.0f;
+    }
+    for (auto& v : a.dom) {
+      if (v == 0.0f) v = static_cast<float>(rng->Uniform(0.0, 0.3));
+    }
+    a.award_sens = rng->Uniform(0.2, 1.0);
+  }
+
+  std::vector<Worker> workers(cfg.num_workers);
+  for (int i = 0; i < cfg.num_workers; ++i) {
+    Worker& w = workers[i];
+    w.id = i;
+    const Archetype& a = archetypes[rng->UniformInt(archetypes.size())];
+    w.pref_category.resize(cfg.num_categories);
+    w.pref_domain.resize(cfg.num_domains);
+    for (int c = 0; c < cfg.num_categories; ++c) {
+      w.pref_category[c] = static_cast<float>(std::clamp(
+          a.cat[c] + rng->Normal(0.0, cfg.pref_noise), 0.0, 1.0));
+    }
+    for (int d = 0; d < cfg.num_domains; ++d) {
+      w.pref_domain[d] = static_cast<float>(std::clamp(
+          a.dom[d] + rng->Normal(0.0, cfg.pref_noise), 0.0, 1.0));
+    }
+    w.award_sensitivity =
+        std::clamp(a.award_sens + rng->Normal(0.0, 0.1), 0.0, 1.0);
+    w.quality = std::clamp(rng->Normal(cfg.quality_mean, cfg.quality_std),
+                           0.05, 1.0);
+    w.pickiness = rng->Normal(0.0, 0.04);
+  }
+  return workers;
+}
+
+std::vector<Task> SyntheticGenerator::GenerateTasks(Rng* rng) const {
+  const auto& cfg = config_;
+  const int months = cfg.eval_months + 1;
+  const auto cat_w = ZipfWeights(cfg.num_categories, cfg.category_zipf);
+  const auto dom_w = ZipfWeights(cfg.num_domains, cfg.domain_zipf);
+
+  // Lognormal duration with ln-space mean chosen so the arithmetic mean of
+  // the (clipped) distribution ≈ mean_task_duration_days.
+  const double sigma = cfg.task_duration_sigma;
+  const double mu =
+      std::log(cfg.mean_task_duration_days) - 0.5 * sigma * sigma;
+
+  struct Draft {
+    SimTime start;
+    SimTime deadline;
+    int category, domain;
+    double award;
+  };
+  std::vector<Draft> drafts;
+  for (int m = 0; m < months; ++m) {
+    const int count = rng->Poisson(cfg.tasks_per_month);
+    for (int i = 0; i < count; ++i) {
+      Draft d;
+      d.start = m * kMinutesPerMonth +
+                static_cast<SimTime>(rng->Uniform() *
+                                     static_cast<double>(kMinutesPerMonth));
+      double days = std::exp(rng->Normal(mu, sigma));
+      days = std::clamp(days, cfg.min_task_duration_days,
+                        cfg.max_task_duration_days);
+      d.deadline =
+          d.start + static_cast<SimTime>(days * kMinutesPerDay);
+      d.category = static_cast<int>(rng->Discrete(cat_w));
+      d.domain = static_cast<int>(rng->Discrete(dom_w));
+      d.award = std::exp(rng->Normal(cfg.award_log_mean, cfg.award_log_sigma));
+      drafts.push_back(d);
+    }
+  }
+  std::sort(drafts.begin(), drafts.end(),
+            [](const Draft& a, const Draft& b) { return a.start < b.start; });
+
+  std::vector<Task> tasks(drafts.size());
+  for (size_t i = 0; i < drafts.size(); ++i) {
+    Task& t = tasks[i];
+    t.id = static_cast<TaskId>(i);
+    t.start = drafts[i].start;
+    t.deadline = drafts[i].deadline;
+    t.category = drafts[i].category;
+    t.domain = drafts[i].domain;
+    t.award = drafts[i].award;
+  }
+  return tasks;
+}
+
+std::vector<Event> SyntheticGenerator::GenerateArrivals(
+    const std::vector<Worker>& workers, Rng* rng) const {
+  const auto& cfg = config_;
+  const SimTime end = (cfg.eval_months + 1) * kMinutesPerMonth;
+  const double target_total =
+      cfg.arrivals_per_month * (cfg.eval_months + 1);
+
+  // Per-worker heterogeneous activity (lognormal multiplier) and join time.
+  std::vector<double> activity(workers.size());
+  std::vector<SimTime> join(workers.size());
+  double weighted_days = 0;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    activity[i] = std::exp(rng->Normal(0.0, cfg.activity_sigma));
+    join[i] = rng->Bernoulli(cfg.initially_active_fraction)
+                  ? 0
+                  : static_cast<SimTime>(rng->Uniform() *
+                                         static_cast<double>(end));
+    weighted_days +=
+        activity[i] * static_cast<double>(end - join[i]) /
+        static_cast<double>(kMinutesPerDay);
+  }
+  // Calibrate the base session rate so expected arrivals ≈ target_total:
+  //   E[total] = Σ_w rate·a_w·active_days_w · E[session length].
+  const double mean_session = 1.0 / (1.0 - cfg.session_continue);
+  const double base_rate =
+      target_total / std::max(1e-9, weighted_days * mean_session);
+
+  std::vector<Event> arrivals;
+  arrivals.reserve(static_cast<size_t>(target_total * 1.3));
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const double sessions_per_day = base_rate * activity[i];
+    if (sessions_per_day <= 0) continue;
+    const double mean_gap_days = 1.0 / sessions_per_day;
+    SimTime t = join[i];
+    // Random phase so workers don't all start with a session at join time.
+    t += static_cast<SimTime>(rng->Exponential(1.0 / mean_gap_days) *
+                              static_cast<double>(kMinutesPerDay) *
+                              rng->Uniform());
+    while (t < end) {
+      // One session: first arrival plus geometric continuations.
+      SimTime st = t;
+      while (true) {
+        if (st >= end) break;
+        Event e;
+        e.time = st;
+        e.type = EventType::kWorkerArrival;
+        e.worker = workers[i].id;
+        arrivals.push_back(e);
+        if (!rng->Bernoulli(cfg.session_continue)) break;
+        st += std::max<SimTime>(
+            1, static_cast<SimTime>(
+                   rng->Exponential(1.0 / cfg.intra_session_gap_mean)));
+      }
+      // Next session: day-multiple habit (same time of day ± jitter).
+      const double gap_days = rng->Exponential(1.0 / mean_gap_days);
+      if (gap_days < 0.5) {
+        // Same-day return, a few hours later.
+        t += std::max<SimTime>(
+            30, static_cast<SimTime>(gap_days * kMinutesPerDay +
+                                     rng->Normal(0, 60)));
+      } else {
+        const double days = std::max(1.0, std::round(gap_days));
+        t += static_cast<SimTime>(
+            days * kMinutesPerDay +
+            rng->Normal(0.0, cfg.intersession_jitter_min));
+      }
+    }
+  }
+  return arrivals;
+}
+
+Dataset SyntheticGenerator::Generate() const {
+  Rng rng(config_.seed);
+  Rng worker_rng = rng.Fork();
+  Rng task_rng = rng.Fork();
+  Rng arrival_rng = rng.Fork();
+
+  Dataset ds;
+  ds.num_categories = config_.num_categories;
+  ds.num_domains = config_.num_domains;
+  ds.total_months = config_.eval_months + 1;
+  ds.init_months = 1;
+  ds.workers = GenerateWorkers(&worker_rng);
+  ds.tasks = GenerateTasks(&task_rng);
+
+  const SimTime end = ds.total_months * kMinutesPerMonth;
+  for (const auto& t : ds.tasks) {
+    Event created;
+    created.time = t.start;
+    created.type = EventType::kTaskCreated;
+    created.task = t.id;
+    ds.events.push_back(created);
+    if (t.deadline < end) {
+      Event expired;
+      expired.time = t.deadline;
+      expired.type = EventType::kTaskExpired;
+      expired.task = t.id;
+      ds.events.push_back(expired);
+    }
+  }
+  auto arrivals = GenerateArrivals(ds.workers, &arrival_rng);
+  ds.events.insert(ds.events.end(), arrivals.begin(), arrivals.end());
+  std::sort(ds.events.begin(), ds.events.end());
+  return ds;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,133 @@
+#include "eval/experiment.h"
+
+#include "baselines/greedy_cosine.h"
+#include "baselines/greedy_nn.h"
+#include "baselines/linucb.h"
+#include "baselines/oracle.h"
+#include "baselines/random_policy.h"
+#include "baselines/taskrec_pmf.h"
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace crowdrl {
+
+Experiment::Experiment(const Dataset* dataset, const ExperimentConfig& config)
+    : dataset_(dataset), config_(config) {
+  CROWDRL_CHECK(dataset != nullptr);
+}
+
+const std::vector<std::string>& Experiment::WorkerBenefitMethods() {
+  static const std::vector<std::string> kMethods = {
+      "random", "taskrec", "greedy_cs", "greedy_nn", "linucb", "ddqn"};
+  return kMethods;
+}
+
+const std::vector<std::string>& Experiment::RequesterBenefitMethods() {
+  static const std::vector<std::string> kMethods = {
+      "random", "greedy_cs", "greedy_nn", "linucb", "ddqn"};
+  return kMethods;
+}
+
+FrameworkConfig Experiment::MakeFrameworkConfig(Objective objective) const {
+  FrameworkConfig fc = FrameworkConfig::Defaults();
+  fc.objective = objective;
+  fc.worker_weight = config_.worker_weight;
+  fc.action_mode = config_.harness.mode;
+  fc.seed = config_.seed ^ 0xD0D0ULL;
+
+  auto size_dqn = [&](DqnAgentConfig* dqn, double gamma, uint64_t seed) {
+    dqn->net.hidden_dim = config_.hidden_dim;
+    dqn->net.num_heads = config_.num_heads;
+    dqn->batch_size = config_.batch_size;
+    dqn->learn_every = config_.learn_every;
+    dqn->replay.capacity = config_.replay_capacity;
+    dqn->target_sync_every = config_.target_sync_every;
+    dqn->opt.learning_rate = config_.learning_rate;
+    dqn->gamma = gamma;
+    dqn->seed = seed;
+  };
+  size_dqn(&fc.worker_dqn, config_.gamma_worker, config_.seed ^ 0x1111ULL);
+  size_dqn(&fc.requester_dqn, config_.gamma_requester,
+           config_.seed ^ 0x2222ULL);
+  fc.predictor.max_segments = config_.max_segments;
+  fc.state.max_tasks = config_.max_state_tasks;
+  fc.max_failed_stored = config_.max_failed_stored;
+  return fc;
+}
+
+std::unique_ptr<Policy> Experiment::MakeBaseline(const std::string& method,
+                                                 Objective objective,
+                                                 ReplayHarness* harness) const {
+  const size_t wd = harness->worker_feature_dim();
+  const size_t td = harness->task_feature_dim();
+  const uint64_t seed = config_.seed;
+  if (method == "random") {
+    return std::make_unique<RandomPolicy>(seed ^ 0xAAULL);
+  }
+  if (method == "greedy_cs") {
+    return std::make_unique<GreedyCosine>(objective,
+                                          config_.harness.quality_p);
+  }
+  if (method == "greedy_nn") {
+    GreedyNnConfig cfg;
+    cfg.seed = seed ^ 0xBBULL;
+    cfg.epochs_per_refresh = config_.supervised_epochs;
+    cfg.max_buffer = config_.supervised_buffer;
+    return std::make_unique<GreedyNn>(objective, wd, td, cfg);
+  }
+  if (method == "linucb") {
+    LinUcbConfig cfg;
+    return std::make_unique<LinUcb>(objective, wd, td, cfg);
+  }
+  if (method == "taskrec") {
+    CROWDRL_CHECK_MSG(objective == Objective::kWorkerBenefit,
+                      "Taskrec only considers the benefit of workers");
+    TaskrecConfig cfg;
+    cfg.seed = seed ^ 0xCCULL;
+    cfg.epochs_per_refresh = config_.supervised_epochs;
+    cfg.max_interactions = config_.supervised_buffer;
+    return std::make_unique<TaskrecPmf>(dataset_->workers.size(),
+                                        dataset_->tasks.size(),
+                                        dataset_->num_categories, cfg);
+  }
+  if (method == "oracle") {
+    return std::make_unique<OraclePolicy>(objective, &harness->platform(),
+                                          &harness->behavior(),
+                                          config_.harness.quality_p);
+  }
+  return nullptr;
+}
+
+MethodResult Experiment::RunMethod(const std::string& method,
+                                   Objective objective) {
+  ReplayHarness harness(dataset_, config_.harness);
+  std::unique_ptr<Policy> policy;
+  if (method == "ddqn") {
+    policy = std::make_unique<TaskArrangementFramework>(
+        MakeFrameworkConfig(objective), &harness,
+        harness.worker_feature_dim(), harness.task_feature_dim());
+  } else {
+    policy = MakeBaseline(method, objective, &harness);
+  }
+  CROWDRL_CHECK_MSG(policy != nullptr, "unknown method");
+  MethodResult result;
+  result.method = policy->name();
+  result.run = harness.Run(policy.get());
+  CROWDRL_LOG(kDebug) << "method " << result.method << " finished: CR="
+                      << result.run.final_metrics.cr;
+  return result;
+}
+
+MethodResult Experiment::RunFramework(FrameworkConfig config,
+                                      const std::string& label) {
+  ReplayHarness harness(dataset_, config_.harness);
+  TaskArrangementFramework framework(config, &harness,
+                                     harness.worker_feature_dim(),
+                                     harness.task_feature_dim());
+  MethodResult result;
+  result.method = label.empty() ? framework.name() : label;
+  result.run = harness.Run(&framework);
+  return result;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,257 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace crowdrl {
+
+namespace {
+FeatureConfig ResolveFeatures(const Dataset& ds, FeatureConfig base) {
+  base.num_categories = ds.num_categories;
+  base.num_domains = ds.num_domains;
+  return base;
+}
+}  // namespace
+
+ReplayHarness::ReplayHarness(const Dataset* dataset,
+                             const HarnessConfig& config)
+    : dataset_(dataset),
+      config_(config),
+      platform_(dataset->tasks, dataset->workers),
+      features_(ResolveFeatures(*dataset, config.features),
+                dataset->workers.size(), dataset->tasks.size()),
+      behavior_(config.behavior),
+      quality_(config.quality_p),
+      rng_(config.seed) {
+  CROWDRL_CHECK(dataset != nullptr);
+}
+
+double ReplayHarness::WorkerQuality(WorkerId worker) const {
+  return platform_.worker(worker).quality;
+}
+
+double ReplayHarness::TaskQuality(TaskId task) const {
+  return quality_.TaskQuality(platform_.task(task));
+}
+
+Observation ReplayHarness::BuildObservation(WorkerId worker,
+                                            int64_t arrival_index) const {
+  Observation obs;
+  obs.time = platform_.now();
+  obs.arrival_index = arrival_index;
+  obs.worker = worker;
+  obs.worker_quality = platform_.worker(worker).quality;
+  obs.worker_features = features_.WorkerFeature(worker, obs.time);
+  obs.tasks.reserve(platform_.available().size());
+  for (TaskId id : platform_.available()) {
+    const Task& t = platform_.task(id);
+    TaskSnapshot snap;
+    snap.id = id;
+    snap.category = t.category;
+    snap.domain = t.domain;
+    snap.award = t.award;
+    snap.deadline = t.deadline;
+    snap.features = &features_.TaskFeature(t);
+    snap.quality = quality_.TaskQuality(t);
+    obs.tasks.push_back(snap);
+  }
+  return obs;
+}
+
+double ReplayHarness::ApplyCompletion(WorkerId worker, TaskId task) {
+  Task& t = platform_.task(task);
+  const double gain =
+      quality_.ApplyCompletion(&t, platform_.worker(worker).quality);
+  features_.RecordCompletion(worker, t, platform_.now());
+  return gain;
+}
+
+RunResult ReplayHarness::Run(Policy* policy) {
+  CROWDRL_CHECK_MSG(!used_, "ReplayHarness::Run is one-shot per harness");
+  used_ = true;
+  CROWDRL_CHECK(policy != nullptr);
+
+  const SimTime init_end = dataset_->InitEndTime();
+  MetricsTracker metrics(config_.top_k);
+  RunResult result;
+  MeanAccumulator feedback_time, dayend_time, rank_time;
+
+  // Delayed-feedback queue (Sec. IX scenario); empty in instant mode.
+  std::deque<PendingFeedback> settlement_queue;
+  auto settle_until = [&](SimTime now) {
+    while (!settlement_queue.empty() && settlement_queue.front().due <= now) {
+      PendingFeedback item = std::move(settlement_queue.front());
+      settlement_queue.pop_front();
+      Feedback feedback;
+      if (item.completed_pos >= 0) {
+        const int idx = item.ranking[item.completed_pos];
+        const TaskId task = item.obs.tasks[idx].id;
+        feedback.completed_pos = item.completed_pos;
+        feedback.completed_index = idx;
+        // The task may have expired while the worker was completing it; a
+        // real platform still accepts the submission (it started in time).
+        feedback.quality_gain = ApplyCompletion(item.obs.worker, task);
+        ++result.completions;
+      }
+      Stopwatch fb_sw;
+      policy->OnFeedback(item.obs, item.ranking, feedback);
+      feedback_time.Add(fb_sw.ElapsedSeconds());
+    }
+  };
+
+  int64_t arrival_index = 0;
+  int64_t current_day = -1;
+  int current_month = 0;
+  bool init_ended = false;
+
+  for (const Event& event : dataset_->events) {
+    settle_until(event.time);
+    if (!init_ended && event.time >= init_end) {
+      policy->OnInitEnd();
+      init_ended = true;
+    }
+    // Day boundary: supervised baselines retrain here.
+    const int64_t event_day = DayOf(event.time);
+    if (current_day >= 0 && event_day > current_day) {
+      Stopwatch sw;
+      policy->OnDayEnd(current_day * kMinutesPerDay + kMinutesPerDay - 1);
+      dayend_time.Add(sw.ElapsedSeconds());
+    }
+    current_day = event_day;
+
+    // Month boundary: snapshot cumulative metrics (evaluation months only).
+    const int event_month = MonthOf(event.time);
+    while (current_month < event_month) {
+      if (current_month >= dataset_->init_months) {
+        metrics.EndMonth(current_month);
+      }
+      ++current_month;
+    }
+
+    CROWDRL_CHECK(platform_.ApplyEvent(event).ok());
+    if (event.type != EventType::kWorkerArrival) continue;
+
+    const WorkerId worker_id = event.worker;
+    const int64_t this_arrival = arrival_index++;
+    Observation obs = BuildObservation(worker_id, this_arrival);
+    policy->OnArrival(obs);
+    if (obs.tasks.empty()) continue;
+
+    const Worker& worker = platform_.worker(worker_id);
+
+    if (event.time < init_end) {
+      // ---- History replay (warm-up): workers browsed an unpersonalized
+      // (random-order) pool and completed the first interesting task.
+      std::vector<int> order(obs.tasks.size());
+      std::iota(order.begin(), order.end(), 0);
+      rng_.Shuffle(&order);
+      std::vector<const Task*> ranked(order.size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        ranked[i] = &platform_.task(obs.tasks[order[i]].id);
+      }
+      const int pos = behavior_.FirstInterested(worker, ranked, this_arrival);
+      double gain = 0.0;
+      if (pos >= 0) {
+        gain = ApplyCompletion(worker_id, obs.tasks[order[pos]].id);
+        ++result.completions;
+      }
+      policy->OnHistory(obs, order, pos, gain);
+      continue;
+    }
+
+    // ---- Evaluation arrival.
+    Stopwatch rank_sw;
+    std::vector<int> ranking = policy->Rank(obs);
+    rank_time.Add(rank_sw.ElapsedSeconds());
+    CROWDRL_CHECK_MSG(ranking.size() == obs.tasks.size(),
+                      "policy must return a full permutation");
+
+    // Counterfactual views of the same ranking under the same draws.
+    const auto interested = [&](int task_idx) {
+      return behavior_.IsInterested(
+          worker, platform_.task(obs.tasks[task_idx].id), this_arrival);
+    };
+    const auto gain_of = [&](int task_idx) {
+      return QualityModel::GainFromValues(
+          quality_.TaskQuality(platform_.task(obs.tasks[task_idx].id)),
+          worker.quality, quality_.p());
+    };
+
+    int full_pos = -1;
+    const int scan_limit = std::min<int>(
+        static_cast<int>(ranking.size()),
+        config_.behavior.patience < 0 ? static_cast<int>(ranking.size())
+                                      : config_.behavior.patience);
+    for (int pos = 0; pos < scan_limit; ++pos) {
+      if (interested(ranking[pos])) {
+        full_pos = pos;
+        break;
+      }
+    }
+    const bool top1_accepted = full_pos == 0;
+    const int topk_pos = (full_pos >= 0 && full_pos < config_.top_k)
+                             ? full_pos
+                             : -1;
+    const double top1_gain = top1_accepted ? gain_of(ranking[0]) : 0.0;
+    const double topk_gain = topk_pos >= 0 ? gain_of(ranking[topk_pos]) : 0.0;
+    const double full_gain = full_pos >= 0 ? gain_of(ranking[full_pos]) : 0.0;
+    metrics.RecordArrival(top1_accepted, top1_gain, topk_pos, topk_gain,
+                          full_pos, full_gain);
+
+    // Realized outcome: what the worker actually saw.
+    const int shown = config_.mode == ActionMode::kAssignOne
+                          ? 1
+                          : static_cast<int>(ranking.size());
+    const int completed_pos =
+        (full_pos >= 0 && full_pos < shown) ? full_pos : -1;
+
+    if (config_.feedback_delay_minutes > 0) {
+      // Sec. IX: the completion settles later; intervening arrivals are
+      // arranged against the stale platform state.
+      PendingFeedback item;
+      item.due = event.time + config_.feedback_delay_minutes;
+      item.obs = std::move(obs);
+      item.ranking = std::move(ranking);
+      item.completed_pos = completed_pos;
+      settlement_queue.push_back(std::move(item));
+      continue;
+    }
+
+    Feedback feedback;
+    if (completed_pos >= 0) {
+      feedback.completed_pos = completed_pos;
+      feedback.completed_index = ranking[completed_pos];
+      feedback.quality_gain =
+          ApplyCompletion(worker_id, obs.tasks[feedback.completed_index].id);
+      ++result.completions;
+    }
+
+    Stopwatch fb_sw;
+    policy->OnFeedback(obs, ranking, feedback);
+    feedback_time.Add(fb_sw.ElapsedSeconds());
+  }
+
+  // Settle any feedback still in flight at the end of the trace.
+  settle_until(std::numeric_limits<SimTime>::max());
+
+  if (current_month >= dataset_->init_months) {
+    metrics.EndMonth(current_month);
+  }
+
+  result.final_metrics = metrics.Current();
+  result.monthly = metrics.monthly();
+  result.arrivals_evaluated = metrics.arrivals();
+  result.mean_feedback_update_s = feedback_time.mean();
+  result.mean_dayend_update_s = dayend_time.mean();
+  result.mean_rank_s = rank_time.mean();
+  result.reported_update_s =
+      std::max(result.mean_feedback_update_s, result.mean_dayend_update_s);
+  return result;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,121 @@
+#ifndef CROWDRL_EVAL_HARNESS_H_
+#define CROWDRL_EVAL_HARNESS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/env_view.h"
+#include "core/policy.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "sim/behavior.h"
+#include "sim/platform.h"
+#include "sim/quality.h"
+
+namespace crowdrl {
+
+/// Replay configuration.
+struct HarnessConfig {
+  /// How recommendations are delivered (affects which tasks the worker
+  /// actually examines, hence the realized completion/quality trajectory):
+  /// kAssignOne shows only the top-ranked task; kRankList shows the whole
+  /// ordered pool, scanned under the cascade model.
+  ActionMode mode = ActionMode::kRankList;
+  int top_k = 5;            ///< k of the kCR/kQG metrics
+  double quality_p = 2.0;   ///< Dixit–Stiglitz exponent (paper: p = 2)
+  BehaviorConfig behavior;  ///< ground-truth worker decisions
+  FeatureConfig features;   ///< shared feature space (C/D set from dataset)
+  /// Completions needed before a worker counts as warm (the paper
+  /// initializes new workers "with the first five tasks they completed";
+  /// informational — the feature builder warms continuously).
+  int cold_start_completions = 5;
+  /// The paper's future-work scenario (Sec. IX): workers take time to
+  /// finish a task, so later arrivals happen *before* earlier feedback is
+  /// known. When > 0, each worker's completion settles this many minutes
+  /// after the arrival: the quality/feature updates and OnFeedback are
+  /// deferred, and intervening workers are arranged with the stale state —
+  /// "our current solution ignores any unknown completions from previous
+  /// workers". 0 = the paper's main setting (instant feedback).
+  SimTime feedback_delay_minutes = 0;
+  uint64_t seed = 1;
+};
+
+/// Result of replaying one policy over one dataset.
+struct RunResult {
+  MetricValues final_metrics;
+  std::vector<MonthlySnapshot> monthly;
+  int64_t arrivals_evaluated = 0;
+  int64_t completions = 0;  ///< realized completions (shown-prefix cascade)
+  /// Mean wall-clock seconds of one per-feedback model update.
+  double mean_feedback_update_s = 0;
+  /// Mean wall-clock seconds of one daily batch retrain.
+  double mean_dayend_update_s = 0;
+  /// Mean wall-clock seconds to produce one ranking (inference latency).
+  double mean_rank_s = 0;
+  /// The "model update time" in the sense of Table I: per-feedback for RL
+  /// methods, per-day-retrain for supervised methods (whichever dominates).
+  double reported_update_s = 0;
+};
+
+/// \brief Drives one policy through a trace, simulating worker decisions
+/// with the deterministic-counterfactual behaviour model and scoring the
+/// paper's six metrics. Implements EnvView so policies (the DRL framework,
+/// in particular) can consult the shared observable state.
+///
+/// Protocol per event stream:
+///  * init months: arrivals are replayed as history (random-order cascade →
+///    completions), feeding features, qualities, arrival statistics and
+///    OnHistory warm-starts — no policy decisions, no metrics;
+///  * evaluation months: Rank → cascade over the shown prefix → apply the
+///    completion → OnFeedback, with metrics recorded for the top-1, top-k
+///    and full-list views of the same ranking under the same counterfactual
+///    draws;
+///  * OnDayEnd fires at every simulated-day boundary (supervised baselines
+///    retrain there, per the paper's experimental setup).
+class ReplayHarness : public EnvView {
+ public:
+  ReplayHarness(const Dataset* dataset, const HarnessConfig& config);
+
+  /// Replays the full trace through `policy`. One-shot: construct a fresh
+  /// harness (and policy) per run.
+  RunResult Run(Policy* policy);
+
+  // ---- EnvView ----
+  const FeatureBuilder& features() const override { return features_; }
+  double WorkerQuality(WorkerId worker) const override;
+  double TaskQuality(TaskId task) const override;
+  SimTime now() const override { return platform_.now(); }
+
+  // ---- construction-time info for policies ----
+  size_t worker_feature_dim() const { return features_.worker_dim(); }
+  size_t task_feature_dim() const { return features_.task_dim(); }
+  const Platform& platform() const { return platform_; }
+  const BehaviorModel& behavior() const { return behavior_; }
+  const HarnessConfig& config() const { return config_; }
+
+ private:
+  Observation BuildObservation(WorkerId worker, int64_t arrival_index) const;
+  /// Applies a completion: feature history, task quality. Returns the gain.
+  double ApplyCompletion(WorkerId worker, TaskId task);
+
+  /// One in-flight worker interaction awaiting settlement (delayed mode).
+  struct PendingFeedback {
+    SimTime due = 0;
+    Observation obs;
+    std::vector<int> ranking;
+    int completed_pos = -1;  ///< position the worker will complete, or -1
+  };
+
+  const Dataset* dataset_;
+  HarnessConfig config_;
+  Platform platform_;
+  FeatureBuilder features_;
+  BehaviorModel behavior_;
+  QualityModel quality_;
+  Rng rng_;
+  bool used_ = false;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_EVAL_HARNESS_H_

@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+double MetricsTracker::PositionDiscount(int pos0) {
+  CROWDRL_DCHECK(pos0 >= 0);
+  return 1.0 / std::log2(2.0 + static_cast<double>(pos0));
+}
+
+void MetricsTracker::RecordArrival(bool top1_accepted, double top1_gain,
+                                   int topk_pos, double topk_gain,
+                                   int full_pos, double full_gain) {
+  ++arrivals_;
+  ++month_arrivals_;
+  if (top1_accepted) {
+    cr_sum_ += 1.0;
+    qg_sum_ += top1_gain;
+    month_qg_ += top1_gain;
+  }
+  if (topk_pos >= 0) {
+    CROWDRL_DCHECK(topk_pos < top_k_);
+    const double disc = PositionDiscount(topk_pos);
+    kcr_sum_ += disc;
+    kqg_sum_ += disc * topk_gain;
+    month_kqg_ += disc * topk_gain;
+  }
+  if (full_pos >= 0) {
+    const double disc = PositionDiscount(full_pos);
+    ndcg_cr_sum_ += disc;
+    ndcg_qg_sum_ += disc * full_gain;
+    month_ndcg_qg_ += disc * full_gain;
+  }
+}
+
+MetricValues MetricsTracker::Current() const {
+  MetricValues values;
+  if (arrivals_ == 0) return values;
+  const double n = static_cast<double>(arrivals_);
+  values.cr = cr_sum_ / n;
+  values.kcr = kcr_sum_ / n;
+  values.ndcg_cr = ndcg_cr_sum_ / n;
+  values.qg = qg_sum_;
+  values.kqg = kqg_sum_;
+  values.ndcg_qg = ndcg_qg_sum_;
+  return values;
+}
+
+void MetricsTracker::EndMonth(int month_index) {
+  MonthlySnapshot snap;
+  snap.month = month_index;
+  snap.cumulative = Current();
+  snap.month_qg = month_qg_;
+  snap.month_kqg = month_kqg_;
+  snap.month_ndcg_qg = month_ndcg_qg_;
+  snap.month_arrivals = month_arrivals_;
+  monthly_.push_back(snap);
+  month_qg_ = 0;
+  month_kqg_ = 0;
+  month_ndcg_qg_ = 0;
+  month_arrivals_ = 0;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,72 @@
+#ifndef CROWDRL_EVAL_METRICS_H_
+#define CROWDRL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowdrl {
+
+/// The six evaluation measures of Sec. VII-A2.
+struct MetricValues {
+  double cr = 0;       ///< worker completion rate, Eq. 8
+  double kcr = 0;      ///< top-k completion rate, Eq. 10
+  double ndcg_cr = 0;  ///< nDCG completion rate, Eq. 9
+  double qg = 0;       ///< task quality gain (absolute sum), Eq. 11
+  double kqg = 0;      ///< top-k quality gain, Eq. 13
+  double ndcg_qg = 0;  ///< nDCG quality gain, Eq. 12
+};
+
+/// Snapshot at a month boundary: cumulative-so-far metrics plus the
+/// per-month quality gains (Fig. 8 plots monthly QG, Fig. 7 cumulative CR).
+struct MonthlySnapshot {
+  int month = 0;
+  MetricValues cumulative;
+  double month_qg = 0;
+  double month_kqg = 0;
+  double month_ndcg_qg = 0;
+  int64_t month_arrivals = 0;
+};
+
+/// \brief Accumulates the paper's six metrics over evaluated arrivals.
+///
+/// Per arrival, the caller reports the outcome of three nested views of the
+/// same ranking under the (counterfactually deterministic) behaviour draws:
+///  * the top-1 view (assign-one: accepted or not, with its gain);
+///  * the top-k view (first interesting position within k, with its gain);
+///  * the full-list view (first interesting position anywhere).
+/// Rank positions are 0-based; the nDCG discount is 1/log2(2 + pos), which
+/// reproduces the paper's 1/log(1+r) with 1-based r.
+class MetricsTracker {
+ public:
+  explicit MetricsTracker(int top_k) : top_k_(top_k) {}
+
+  /// Position discount 1/log2(2 + pos0) for a 0-based position.
+  static double PositionDiscount(int pos0);
+
+  void RecordArrival(bool top1_accepted, double top1_gain, int topk_pos,
+                     double topk_gain, int full_pos, double full_gain);
+
+  /// Closes the current month and snapshots cumulative values.
+  void EndMonth(int month_index);
+
+  /// Current cumulative metric values.
+  MetricValues Current() const;
+
+  const std::vector<MonthlySnapshot>& monthly() const { return monthly_; }
+  int64_t arrivals() const { return arrivals_; }
+  int top_k() const { return top_k_; }
+
+ private:
+  int top_k_;
+  int64_t arrivals_ = 0;
+  double cr_sum_ = 0, kcr_sum_ = 0, ndcg_cr_sum_ = 0;
+  double qg_sum_ = 0, kqg_sum_ = 0, ndcg_qg_sum_ = 0;
+  // per-month deltas
+  double month_qg_ = 0, month_kqg_ = 0, month_ndcg_qg_ = 0;
+  int64_t month_arrivals_ = 0;
+  std::vector<MonthlySnapshot> monthly_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_EVAL_METRICS_H_

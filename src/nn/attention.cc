@@ -1,0 +1,178 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace crowdrl {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t num_heads,
+                                               Rng* rng, bool use_mask)
+    : wq_(Matrix::Xavier(dim, dim, rng)),
+      wk_(Matrix::Xavier(dim, dim, rng)),
+      wv_(Matrix::Xavier(dim, dim, rng)),
+      wo_(Matrix::Xavier(dim, dim, rng)),
+      num_heads_(num_heads),
+      use_mask_(use_mask) {
+  CROWDRL_CHECK_MSG(dim % num_heads == 0, "dim must divide into heads");
+}
+
+namespace {
+
+/// Extracts the column block [h*hd, (h+1)*hd) of `m` as a new matrix.
+Matrix HeadSlice(const Matrix& m, size_t h, size_t hd) {
+  Matrix out(m.rows(), hd);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* src = m.row_data(r) + h * hd;
+    float* dst = out.row_data(r);
+    for (size_t c = 0; c < hd; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+/// Adds `block` into the column block h of `m`.
+void AddHeadSlice(Matrix* m, const Matrix& block, size_t h, size_t hd) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* dst = m->row_data(r) + h * hd;
+    const float* src = block.row_data(r);
+    for (size_t c = 0; c < hd; ++c) dst[c] += src[c];
+  }
+}
+
+/// Zeroes the rows at index >= valid_n.
+void ZeroPadRows(Matrix* m, size_t valid_n) {
+  for (size_t r = valid_n; r < m->rows(); ++r) {
+    float* row = m->row_data(r);
+    std::fill(row, row + m->cols(), 0.0f);
+  }
+}
+
+}  // namespace
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& x, size_t valid_n,
+                                       Cache* cache) const {
+  CROWDRL_CHECK(x.cols() == dim());
+  CROWDRL_CHECK(valid_n <= x.rows());
+  const size_t n = x.rows();
+  const size_t hd = head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  cache->x = x;
+  cache->valid_n = valid_n;
+  cache->q = Matmul(x, wq_);
+  cache->k = Matmul(x, wk_);
+  cache->v = Matmul(x, wv_);
+  cache->probs.assign(num_heads_, Matrix());
+  cache->concat = Matrix(n, dim());
+
+  std::vector<uint8_t> col_mask;
+  if (use_mask_) {
+    col_mask.assign(n, 0);
+    for (size_t i = 0; i < valid_n; ++i) col_mask[i] = 1;
+  }
+
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Matrix qh = HeadSlice(cache->q, h, hd);
+    Matrix kh = HeadSlice(cache->k, h, hd);
+    Matrix vh = HeadSlice(cache->v, h, hd);
+    Matrix scores = MatmulTransposeB(qh, kh);
+    scores *= scale;
+    // With masking on, padded columns get zero probability and padded rows
+    // produce all-zero distributions; without it we reproduce the paper's
+    // raw zero-padding (padding rows still score exp(0) mass).
+    SoftmaxRowsInPlace(&scores, use_mask_ ? &col_mask : nullptr,
+                       use_mask_ ? static_cast<long>(valid_n) : -1);
+    cache->probs[h] = scores;
+    Matrix oh = Matmul(scores, vh);
+    AddHeadSlice(&cache->concat, oh, h, hd);
+  }
+
+  Matrix out = Matmul(cache->concat, wo_);
+  if (use_mask_) ZeroPadRows(&out, valid_n);
+  return out;
+}
+
+Matrix MultiHeadSelfAttention::Backward(const Matrix& grad_out,
+                                        const Cache& cache,
+                                        Grads* grads) const {
+  const size_t hd = head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  Matrix dy = grad_out;
+  if (use_mask_) ZeroPadRows(&dy, cache.valid_n);
+
+  // out = concat · W_O.
+  grads->dwo += MatmulTransposeA(cache.concat, dy);
+  Matrix dconcat = MatmulTransposeB(dy, wo_);
+
+  Matrix dq(cache.q.rows(), cache.q.cols());
+  Matrix dk(cache.k.rows(), cache.k.cols());
+  Matrix dv(cache.v.rows(), cache.v.cols());
+
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Matrix doh = HeadSlice(dconcat, h, hd);
+    Matrix qh = HeadSlice(cache.q, h, hd);
+    Matrix kh = HeadSlice(cache.k, h, hd);
+    Matrix vh = HeadSlice(cache.v, h, hd);
+    const Matrix& probs = cache.probs[h];
+
+    // o = P·V.
+    Matrix dprobs = MatmulTransposeB(doh, vh);
+    Matrix dvh = MatmulTransposeA(probs, doh);
+    // P = softmax(S); rows that were fully masked have P ≡ 0 and the
+    // softmax backward then yields exactly 0 — no special-casing needed.
+    Matrix dscores = SoftmaxRowsBackward(probs, dprobs);
+    dscores *= scale;
+    // S = Q·Kᵀ (pre-scale): dQ = dS·K, dK = dSᵀ·Q.
+    Matrix dqh = Matmul(dscores, kh);
+    Matrix dkh = MatmulTransposeA(dscores, qh);
+
+    AddHeadSlice(&dq, dqh, h, hd);
+    AddHeadSlice(&dk, dkh, h, hd);
+    AddHeadSlice(&dv, dvh, h, hd);
+  }
+
+  grads->dwq += MatmulTransposeA(cache.x, dq);
+  grads->dwk += MatmulTransposeA(cache.x, dk);
+  grads->dwv += MatmulTransposeA(cache.x, dv);
+
+  Matrix dx = MatmulTransposeB(dq, wq_);
+  dx += MatmulTransposeB(dk, wk_);
+  dx += MatmulTransposeB(dv, wv_);
+  return dx;
+}
+
+MultiHeadSelfAttention::Grads MultiHeadSelfAttention::MakeGrads() const {
+  Grads g;
+  g.dwq = Matrix(wq_.rows(), wq_.cols());
+  g.dwk = Matrix(wk_.rows(), wk_.cols());
+  g.dwv = Matrix(wv_.rows(), wv_.cols());
+  g.dwo = Matrix(wo_.rows(), wo_.cols());
+  return g;
+}
+
+Status MultiHeadSelfAttention::Save(std::ostream* os) const {
+  CROWDRL_RETURN_NOT_OK(wq_.Save(os));
+  CROWDRL_RETURN_NOT_OK(wk_.Save(os));
+  CROWDRL_RETURN_NOT_OK(wv_.Save(os));
+  CROWDRL_RETURN_NOT_OK(wo_.Save(os));
+  uint64_t meta[2] = {num_heads_, use_mask_ ? 1ULL : 0ULL};
+  os->write(reinterpret_cast<const char*>(meta), sizeof(meta));
+  if (!os->good()) return Status::IoError("attention write failed");
+  return Status::OK();
+}
+
+Status MultiHeadSelfAttention::Load(std::istream* is) {
+  CROWDRL_ASSIGN_OR_RETURN(wq_, Matrix::Load(is));
+  CROWDRL_ASSIGN_OR_RETURN(wk_, Matrix::Load(is));
+  CROWDRL_ASSIGN_OR_RETURN(wv_, Matrix::Load(is));
+  CROWDRL_ASSIGN_OR_RETURN(wo_, Matrix::Load(is));
+  uint64_t meta[2];
+  is->read(reinterpret_cast<char*>(meta), sizeof(meta));
+  if (!is->good()) return Status::IoError("attention read failed");
+  num_heads_ = meta[0];
+  use_mask_ = meta[1] != 0;
+  return Status::OK();
+}
+
+}  // namespace crowdrl

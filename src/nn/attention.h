@@ -1,0 +1,90 @@
+#ifndef CROWDRL_NN_ATTENTION_H_
+#define CROWDRL_NN_ATTENTION_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace crowdrl {
+
+/// \brief Multi-head self-attention (paper Fig. 4 / Vaswani et al. [28]).
+///
+/// `MultiHead(X) = Concat(head_1..head_h)·W_O`, with
+/// `head_i = softmax(X·W_Q_i (X·W_K_i)ᵀ / √d_k) · X·W_V_i`.
+///
+/// The layer is permutation-*equivariant* over rows (Appendix, Proof 2):
+/// permuting input rows permutes output rows identically, which — stacked
+/// with row-wise layers — makes the whole Q-network's per-task value
+/// independent of task ordering.
+///
+/// Padding: states are zero-padded to `maxT` rows. The forward pass takes
+/// `valid_n` (the number of real tasks); padded rows are excluded from the
+/// softmax (score −∞) and produce zero output, so padding cannot leak into
+/// Q values. `use_mask=false` reproduces the paper's raw zero-padding for
+/// the ablation study.
+class MultiHeadSelfAttention {
+ public:
+  /// Per-pass activation cache; owned by the caller so that concurrent
+  /// forward/backward passes can share one (const) layer.
+  struct Cache {
+    Matrix x;                     // input, n×d
+    Matrix q, k, v;               // projections, n×d
+    std::vector<Matrix> probs;    // per-head softmax, n×n
+    Matrix concat;                // concatenated head outputs, n×d
+    size_t valid_n = 0;
+  };
+
+  /// Parameter gradients, accumulated by Backward.
+  struct Grads {
+    Matrix dwq, dwk, dwv, dwo;
+  };
+
+  MultiHeadSelfAttention() = default;
+
+  /// `dim` must be divisible by `num_heads`.
+  MultiHeadSelfAttention(size_t dim, size_t num_heads, Rng* rng,
+                         bool use_mask = true);
+
+  size_t dim() const { return wq_.rows(); }
+  size_t num_heads() const { return num_heads_; }
+  bool use_mask() const { return use_mask_; }
+  void set_use_mask(bool m) { use_mask_ = m; }
+
+  /// Forward over an n×dim input. Rows at index >= valid_n are treated as
+  /// padding. Fills `cache` for the corresponding Backward call.
+  Matrix Forward(const Matrix& x, size_t valid_n, Cache* cache) const;
+
+  /// Backward: upstream gradient `grad_out` (n×dim) → input gradient
+  /// (n×dim); parameter grads are accumulated into `grads`.
+  Matrix Backward(const Matrix& grad_out, const Cache& cache,
+                  Grads* grads) const;
+
+  /// Zero-initialized gradient store with matching shapes.
+  Grads MakeGrads() const;
+
+  Matrix& wq() { return wq_; }
+  Matrix& wk() { return wk_; }
+  Matrix& wv() { return wv_; }
+  Matrix& wo() { return wo_; }
+  const Matrix& wq() const { return wq_; }
+  const Matrix& wk() const { return wk_; }
+  const Matrix& wv() const { return wv_; }
+  const Matrix& wo() const { return wo_; }
+
+  Status Save(std::ostream* os) const;
+  Status Load(std::istream* is);
+
+ private:
+  size_t head_dim() const { return wq_.cols() / num_heads_; }
+
+  Matrix wq_, wk_, wv_;  // dim×dim, heads laid out in column blocks
+  Matrix wo_;            // dim×dim
+  size_t num_heads_ = 1;
+  bool use_mask_ = true;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NN_ATTENTION_H_

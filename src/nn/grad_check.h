@@ -1,0 +1,33 @@
+#ifndef CROWDRL_NN_GRAD_CHECK_H_
+#define CROWDRL_NN_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace crowdrl {
+
+/// \brief Central-difference numeric gradient checking.
+///
+/// Used by the test suite to validate every analytic backward pass (linear,
+/// attention, full Q-network). `loss` must be a pure function of the current
+/// parameter values.
+struct GradCheckResult {
+  float max_abs_err = 0.0f;   ///< max |analytic − numeric|
+  float max_rel_err = 0.0f;   ///< max relative error over entries with
+                              ///< non-trivial magnitude
+  size_t checked = 0;         ///< number of entries compared
+};
+
+/// Compares the analytic gradient `analytic` for parameter `param` against
+/// central differences of `loss`. Only `max_entries` entries are probed
+/// (deterministically strided) to keep tests fast on large matrices.
+GradCheckResult CheckGradient(Matrix* param, const Matrix& analytic,
+                              const std::function<double()>& loss,
+                              float epsilon = 1e-3f,
+                              size_t max_entries = 64);
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NN_GRAD_CHECK_H_

@@ -1,0 +1,53 @@
+#include "nn/linear.h"
+
+#include <istream>
+#include <ostream>
+
+namespace crowdrl {
+
+Matrix Linear::Forward(const Matrix& x, Matrix* pre_activation) const {
+  Matrix z = Matmul(x, w_);
+  z.AddRowBroadcast(b_);
+  if (pre_activation != nullptr) *pre_activation = z;
+  if (act_ == Activation::kRelu) return z.Relu();
+  return z;
+}
+
+Matrix Linear::Backward(const Matrix& x, const Matrix& pre_activation,
+                        const Matrix& grad_out, Matrix* dw, Matrix* db) const {
+  CROWDRL_CHECK(dw->rows() == w_.rows() && dw->cols() == w_.cols());
+  CROWDRL_CHECK(db->rows() == 1 && db->cols() == b_.cols());
+  Matrix dz = grad_out;
+  if (act_ == Activation::kRelu) {
+    dz = dz.CwiseProduct(pre_activation.ReluMask());
+  }
+  // dW += xᵀ · dz ; db += column-sum(dz) ; dx = dz · Wᵀ.
+  *dw += MatmulTransposeA(x, dz);
+  for (size_t r = 0; r < dz.rows(); ++r) {
+    const float* row = dz.row_data(r);
+    float* acc = db->row_data(0);
+    for (size_t c = 0; c < dz.cols(); ++c) acc[c] += row[c];
+  }
+  return MatmulTransposeB(dz, w_);
+}
+
+Status Linear::Save(std::ostream* os) const {
+  CROWDRL_RETURN_NOT_OK(w_.Save(os));
+  CROWDRL_RETURN_NOT_OK(b_.Save(os));
+  uint8_t act = act_ == Activation::kRelu ? 1 : 0;
+  os->write(reinterpret_cast<const char*>(&act), 1);
+  if (!os->good()) return Status::IoError("linear write failed");
+  return Status::OK();
+}
+
+Status Linear::Load(std::istream* is) {
+  CROWDRL_ASSIGN_OR_RETURN(w_, Matrix::Load(is));
+  CROWDRL_ASSIGN_OR_RETURN(b_, Matrix::Load(is));
+  uint8_t act = 0;
+  is->read(reinterpret_cast<char*>(&act), 1);
+  if (!is->good()) return Status::IoError("linear read failed");
+  act_ = act ? Activation::kRelu : Activation::kIdentity;
+  return Status::OK();
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+Adam::Adam(std::vector<Matrix*> params, const OptimizerConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::Step(const std::vector<Matrix>& grads, double grad_scale) {
+  CROWDRL_CHECK(grads.size() == params_.size());
+  ++t_;
+
+  double scale = grad_scale;
+  if (config_.clip_norm > 0) {
+    double total_sq = 0;
+    for (const auto& g : grads) total_sq += g.SquaredNorm();
+    const double norm = std::sqrt(total_sq) * std::fabs(grad_scale);
+    if (norm > config_.clip_norm) scale *= config_.clip_norm / norm;
+  }
+
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const float b1 = static_cast<float>(config_.beta1);
+  const float b2 = static_cast<float>(config_.beta2);
+  double lr_now = config_.learning_rate;
+  if (config_.lr_decay_steps > 0) {
+    lr_now /= 1.0 + static_cast<double>(t_) / config_.lr_decay_steps;
+  }
+  const float lr = static_cast<float>(lr_now);
+  const float eps = static_cast<float>(config_.epsilon);
+  const float inv_bc1 = static_cast<float>(1.0 / bc1);
+  const float inv_bc2 = static_cast<float>(1.0 / bc2);
+  const float fscale = static_cast<float>(scale);
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = grads[i];
+    CROWDRL_CHECK(g.rows() == p.rows() && g.cols() == p.cols());
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    float* pd = p.data();
+    float* md = m.data();
+    float* vd = v.data();
+    const float* gd = g.data();
+    const size_t n = p.size();
+    for (size_t j = 0; j < n; ++j) {
+      const float gj = gd[j] * fscale;
+      md[j] = b1 * md[j] + (1.0f - b1) * gj;
+      vd[j] = b2 * vd[j] + (1.0f - b2) * gj * gj;
+      const float mhat = md[j] * inv_bc1;
+      const float vhat = vd[j] * inv_bc2;
+      pd[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+void Sgd::Step(const std::vector<Matrix>& grads, double grad_scale) {
+  CROWDRL_CHECK(grads.size() == params_.size());
+  const float fscale = static_cast<float>(lr_ * grad_scale);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->AddScaled(grads[i], -fscale);
+  }
+}
+
+}  // namespace crowdrl

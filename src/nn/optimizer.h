@@ -1,0 +1,69 @@
+#ifndef CROWDRL_NN_OPTIMIZER_H_
+#define CROWDRL_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace crowdrl {
+
+/// Optimizer hyper-parameters. The paper trains with learning rate 1e-3.
+struct OptimizerConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Global-norm gradient clipping; <= 0 disables. DQN targets can spike
+  /// early in training, and clipping keeps float32 Adam well-behaved.
+  double clip_norm = 5.0;
+  /// Inverse-time learning-rate decay: lr(t) = lr / (1 + t/decay_steps).
+  /// <= 0 disables. Online continual training wants a hot start (digest
+  /// the warm-up buffer fast) and a cool steady state (don't chase noisy
+  /// on-policy minibatches late in the run).
+  double lr_decay_steps = 0;
+};
+
+/// \brief Adam optimizer over an externally-owned parameter list.
+///
+/// The parameter list is captured at construction (pointers into the
+/// network); `Step` applies one update from a gradient store whose entries
+/// align 1:1 with the parameters. First/second-moment state is kept here.
+class Adam {
+ public:
+  Adam(std::vector<Matrix*> params, const OptimizerConfig& config);
+
+  /// Applies one Adam step. `grads[i]` must match params[i]'s shape.
+  /// `grad_scale` is multiplied into every gradient first (e.g. 1/batch).
+  void Step(const std::vector<Matrix>& grads, double grad_scale = 1.0);
+
+  int64_t step_count() const { return t_; }
+  const OptimizerConfig& config() const { return config_; }
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+
+ private:
+  std::vector<Matrix*> params_;
+  OptimizerConfig config_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t t_ = 0;
+};
+
+/// \brief Plain SGD (used by the supervised baselines, whose original
+/// formulations predate Adam).
+class Sgd {
+ public:
+  Sgd(std::vector<Matrix*> params, double learning_rate)
+      : params_(std::move(params)), lr_(learning_rate) {}
+
+  void Step(const std::vector<Matrix>& grads, double grad_scale = 1.0);
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Matrix*> params_;
+  double lr_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NN_OPTIMIZER_H_

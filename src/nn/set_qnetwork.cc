@@ -1,0 +1,192 @@
+#include "nn/set_qnetwork.h"
+
+#include <fstream>
+
+namespace crowdrl {
+
+SetQNetwork::SetQNetwork(const SetQNetworkConfig& config, Rng* rng)
+    : config_(config),
+      rff1_(config.input_dim, config.hidden_dim, Linear::Activation::kRelu,
+            rng),
+      rff2_(config.hidden_dim, config.hidden_dim, Linear::Activation::kRelu,
+            rng),
+      rff3_(config.hidden_dim, config.hidden_dim, Linear::Activation::kRelu,
+            rng),
+      out_(config.hidden_dim, 1, Linear::Activation::kIdentity, rng),
+      attn1_(config.hidden_dim, config.num_heads, rng,
+             config.masked_attention),
+      attn2_(config.hidden_dim, config.num_heads, rng,
+             config.masked_attention) {
+  CROWDRL_CHECK(config.input_dim > 0);
+  CROWDRL_CHECK(config.hidden_dim % config.num_heads == 0);
+}
+
+Matrix SetQNetwork::Forward(const Matrix& x, size_t valid_n,
+                            Cache* cache) const {
+  CROWDRL_CHECK(x.cols() == config_.input_dim);
+  CROWDRL_CHECK(valid_n <= x.rows());
+  Cache local;
+  Cache* c = cache != nullptr ? cache : &local;
+  c->x = x;
+  c->valid_n = valid_n;
+  c->h1 = rff1_.Forward(x, &c->pre1);
+  c->h2 = rff2_.Forward(c->h1, &c->pre2);
+  if (config_.use_attention) {
+    Matrix a1 = attn1_.Forward(c->h2, valid_n, &c->attn1);
+    c->r1 = c->h2 + a1;
+  } else {
+    c->r1 = c->h2;  // per-task ablation: no cross-task interaction
+  }
+  c->h3 = rff3_.Forward(c->r1, &c->pre3);
+  if (config_.use_attention) {
+    Matrix a2 = attn2_.Forward(c->h3, valid_n, &c->attn2);
+    c->r2 = c->h3 + a2;
+  } else {
+    c->r2 = c->h3;
+  }
+  return out_.Forward(c->r2, &c->pre_out);
+}
+
+std::vector<double> SetQNetwork::QValues(const Matrix& x,
+                                         size_t valid_n) const {
+  Cache cache;
+  Matrix q = Forward(x, valid_n, &cache);
+  std::vector<double> out(valid_n);
+  for (size_t i = 0; i < valid_n; ++i) out[i] = q(i, 0);
+  return out;
+}
+
+void SetQNetwork::Backward(const Matrix& grad_q, const Cache& cache,
+                           Gradients* grads) const {
+  CROWDRL_CHECK(grads->g.size() == 16);
+  // Gradient store layout (must match Params()):
+  //  0: rff1.W  1: rff1.b   2: rff2.W  3: rff2.b
+  //  4..7:  attn1 {Wq, Wk, Wv, Wo}
+  //  8: rff3.W  9: rff3.b
+  // 10..13: attn2 {Wq, Wk, Wv, Wo}
+  // 14: out.W 15: out.b
+  Matrix dr2 =
+      out_.Backward(cache.r2, cache.pre_out, grad_q, &grads->g[14],
+                    &grads->g[15]);
+  Matrix dh3;
+  if (config_.use_attention) {
+    // R2 = H3 + MHSA2(H3): gradient flows through both branches.
+    MultiHeadSelfAttention::Grads a2g{grads->g[10], grads->g[11],
+                                      grads->g[12], grads->g[13]};
+    dh3 = attn2_.Backward(dr2, cache.attn2, &a2g);
+    grads->g[10] = std::move(a2g.dwq);
+    grads->g[11] = std::move(a2g.dwk);
+    grads->g[12] = std::move(a2g.dwv);
+    grads->g[13] = std::move(a2g.dwo);
+    dh3 += dr2;
+  } else {
+    dh3 = dr2;
+  }
+
+  Matrix dr1 = rff3_.Backward(cache.r1, cache.pre3, dh3, &grads->g[8],
+                              &grads->g[9]);
+  Matrix dh2;
+  if (config_.use_attention) {
+    MultiHeadSelfAttention::Grads a1g{grads->g[4], grads->g[5], grads->g[6],
+                                      grads->g[7]};
+    dh2 = attn1_.Backward(dr1, cache.attn1, &a1g);
+    grads->g[4] = std::move(a1g.dwq);
+    grads->g[5] = std::move(a1g.dwk);
+    grads->g[6] = std::move(a1g.dwv);
+    grads->g[7] = std::move(a1g.dwo);
+    dh2 += dr1;
+  } else {
+    dh2 = dr1;
+  }
+
+  Matrix dh1 = rff2_.Backward(cache.h1, cache.pre2, dh2, &grads->g[2],
+                              &grads->g[3]);
+  rff1_.Backward(cache.x, cache.pre1, dh1, &grads->g[0], &grads->g[1]);
+}
+
+SetQNetwork::Gradients SetQNetwork::MakeGradients() const {
+  Gradients grads;
+  for (const Matrix* p : Params()) {
+    grads.g.emplace_back(p->rows(), p->cols());
+  }
+  return grads;
+}
+
+std::vector<Matrix*> SetQNetwork::Params() {
+  return {&rff1_.weights(), &rff1_.bias(),
+          &rff2_.weights(), &rff2_.bias(),
+          &attn1_.wq(),     &attn1_.wk(),
+          &attn1_.wv(),     &attn1_.wo(),
+          &rff3_.weights(), &rff3_.bias(),
+          &attn2_.wq(),     &attn2_.wk(),
+          &attn2_.wv(),     &attn2_.wo(),
+          &out_.weights(),  &out_.bias()};
+}
+
+std::vector<const Matrix*> SetQNetwork::Params() const {
+  auto* self = const_cast<SetQNetwork*>(this);
+  std::vector<const Matrix*> out;
+  for (Matrix* p : self->Params()) out.push_back(p);
+  return out;
+}
+
+void SetQNetwork::CopyFrom(const SetQNetwork& other) {
+  auto dst = Params();
+  auto src = other.Params();
+  CROWDRL_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) *dst[i] = *src[i];
+}
+
+size_t SetQNetwork::NumParameters() const {
+  size_t n = 0;
+  for (const Matrix* p : Params()) n += p->size();
+  return n;
+}
+
+Status SetQNetwork::Save(std::ostream* os) const {
+  uint64_t meta[5] = {config_.input_dim, config_.hidden_dim,
+                      config_.num_heads,
+                      config_.masked_attention ? 1ULL : 0ULL,
+                      config_.use_attention ? 1ULL : 0ULL};
+  os->write(reinterpret_cast<const char*>(meta), sizeof(meta));
+  CROWDRL_RETURN_NOT_OK(rff1_.Save(os));
+  CROWDRL_RETURN_NOT_OK(rff2_.Save(os));
+  CROWDRL_RETURN_NOT_OK(attn1_.Save(os));
+  CROWDRL_RETURN_NOT_OK(rff3_.Save(os));
+  CROWDRL_RETURN_NOT_OK(attn2_.Save(os));
+  CROWDRL_RETURN_NOT_OK(out_.Save(os));
+  if (!os->good()) return Status::IoError("qnetwork write failed");
+  return Status::OK();
+}
+
+Status SetQNetwork::Load(std::istream* is) {
+  uint64_t meta[5];
+  is->read(reinterpret_cast<char*>(meta), sizeof(meta));
+  if (!is->good()) return Status::IoError("qnetwork header read failed");
+  config_.input_dim = meta[0];
+  config_.hidden_dim = meta[1];
+  config_.num_heads = meta[2];
+  config_.masked_attention = meta[3] != 0;
+  config_.use_attention = meta[4] != 0;
+  CROWDRL_RETURN_NOT_OK(rff1_.Load(is));
+  CROWDRL_RETURN_NOT_OK(rff2_.Load(is));
+  CROWDRL_RETURN_NOT_OK(attn1_.Load(is));
+  CROWDRL_RETURN_NOT_OK(rff3_.Load(is));
+  CROWDRL_RETURN_NOT_OK(attn2_.Load(is));
+  CROWDRL_RETURN_NOT_OK(out_.Load(is));
+  return Status::OK();
+}
+
+Status SetQNetwork::SaveToFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  return Save(&f);
+}
+
+Status SetQNetwork::LoadFromFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  return Load(&f);
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,66 @@
+#include "rl/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+Explorer::Explorer(const ExplorerConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+double Explorer::Anneal(double start, double end) const {
+  const double frac = std::min(
+      1.0, static_cast<double>(steps_) /
+               std::max<double>(1.0, static_cast<double>(config_.anneal_steps)));
+  return start + (end - start) * frac;
+}
+
+double Explorer::current_follow_prob() const {
+  return Anneal(config_.assign_follow_start, config_.assign_follow_end);
+}
+
+double Explorer::current_noise_scale() const {
+  return Anneal(config_.noise_scale_start, config_.noise_scale_end);
+}
+
+int Explorer::SelectAssign(const std::vector<double>& q) {
+  CROWDRL_CHECK(!q.empty());
+  if (!rng_.Bernoulli(current_follow_prob())) {
+    return static_cast<int>(rng_.UniformInt(q.size()));
+  }
+  return static_cast<int>(
+      std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::vector<int> Explorer::GreedyRank(const std::vector<double>& q) {
+  std::vector<int> order(q.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return q[a] > q[b]; });
+  return order;
+}
+
+std::vector<int> Explorer::RankList(const std::vector<double>& q) {
+  CROWDRL_CHECK(!q.empty());
+  if (!rng_.Bernoulli(config_.list_noise_prob)) {
+    return GreedyRank(q);
+  }
+  // σ = decay × std(current Q values): exploration strength tracks how
+  // spread-out the value estimates currently are.
+  const double n = static_cast<double>(q.size());
+  const double mean = std::accumulate(q.begin(), q.end(), 0.0) / n;
+  double var = 0;
+  for (double v : q) var += (v - mean) * (v - mean);
+  var /= n;
+  const double sigma = current_noise_scale() * std::sqrt(var);
+  std::vector<double> noisy(q.size());
+  for (size_t i = 0; i < q.size(); ++i) {
+    noisy[i] = q[i] + (sigma > 0 ? rng_.Normal(0.0, sigma) : 0.0);
+  }
+  return GreedyRank(noisy);
+}
+
+}  // namespace crowdrl

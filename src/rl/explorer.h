@@ -1,0 +1,62 @@
+#ifndef CROWDRL_RL_EXPLORER_H_
+#define CROWDRL_RL_EXPLORER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crowdrl {
+
+/// Exploration schedule (paper Sec. VI-B and Sec. VII-B1).
+///
+/// Note the paper's ε convention: ε is the probability of *following* the
+/// Q values when assigning a single task ("we set the initial ε = 0.9, and
+/// increase it until ε = 0.98"), i.e. exploration decays from 10% to 2%.
+/// For ranked lists, pure random exploration is too destructive; instead a
+/// zero-mean Gaussian whose std matches the current Q-value spread is added
+/// to every Q with probability `list_noise_prob`, and a decay factor shrinks
+/// that std from 1× to 0.1× as the network matures.
+struct ExplorerConfig {
+  double assign_follow_start = 0.90;  ///< initial P(follow Q) for assign-one
+  double assign_follow_end = 0.98;    ///< final P(follow Q)
+  double list_noise_prob = 0.90;      ///< P(perturb Qs) when ranking a list
+  double noise_scale_start = 1.0;     ///< initial std multiplier
+  double noise_scale_end = 0.05;      ///< final std multiplier
+  int64_t anneal_steps = 2500;        ///< linear annealing horizon (steps)
+};
+
+/// \brief The "Explorer" box of Fig. 2: trial-and-error action selection.
+class Explorer {
+ public:
+  explicit Explorer(const ExplorerConfig& config, uint64_t seed);
+
+  /// Assign-one mode: returns the argmax index with probability ε (annealed
+  /// up from 0.9 to 0.98), otherwise a uniformly random index.
+  int SelectAssign(const std::vector<double>& q);
+
+  /// List mode: returns a ranking (indices, best first). With probability
+  /// `list_noise_prob` each Q is perturbed by N(0, σ), σ = decay × std(Q).
+  std::vector<int> RankList(const std::vector<double>& q);
+
+  /// Ranks without any exploration (pure exploitation; used at evaluation
+  /// points and by the aggregated dual-Q framework after balancing).
+  static std::vector<int> GreedyRank(const std::vector<double>& q);
+
+  /// Advances the annealing clock by one decision.
+  void Step() { ++steps_; }
+
+  int64_t steps() const { return steps_; }
+  double current_follow_prob() const;
+  double current_noise_scale() const;
+
+ private:
+  double Anneal(double start, double end) const;
+
+  ExplorerConfig config_;
+  Rng rng_;
+  int64_t steps_ = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_RL_EXPLORER_H_

@@ -1,0 +1,100 @@
+#include "rl/prioritized_replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdrl {
+
+PrioritizedReplay::PrioritizedReplay(const PrioritizedReplayConfig& config)
+    : config_(config) {
+  CROWDRL_CHECK(config.capacity > 0);
+  leaves_ = 1;
+  while (leaves_ < config.capacity) leaves_ <<= 1;
+  tree_.assign(2 * leaves_, 0.0);
+  items_.resize(config.capacity);
+}
+
+void PrioritizedReplay::SetLeaf(size_t leaf, double value) {
+  size_t node = leaves_ + leaf;
+  tree_[node] = value;
+  for (node >>= 1; node >= 1; node >>= 1) {
+    tree_[node] = tree_[2 * node] + tree_[2 * node + 1];
+    if (node == 1) break;
+  }
+}
+
+size_t PrioritizedReplay::FindPrefix(double mass) const {
+  size_t node = 1;
+  while (node < leaves_) {
+    const double left = tree_[2 * node];
+    if (mass < left) {
+      node = 2 * node;
+    } else {
+      mass -= left;
+      node = 2 * node + 1;
+    }
+  }
+  size_t leaf = node - leaves_;
+  // Guard against floating-point drift selecting an empty slot.
+  if (leaf >= size_) leaf = size_ == 0 ? 0 : size_ - 1;
+  return leaf;
+}
+
+size_t PrioritizedReplay::Add(Transition t) {
+  const size_t slot = next_;
+  items_[slot] = std::move(t);
+  SetLeaf(slot, std::pow(max_priority_, config_.alpha));
+  next_ = (next_ + 1) % config_.capacity;
+  size_ = std::min(size_ + 1, config_.capacity);
+  return slot;
+}
+
+double PrioritizedReplay::beta() const {
+  const double frac =
+      std::min(1.0, static_cast<double>(sample_steps_) /
+                        std::max(1.0, config_.beta_anneal_steps));
+  return config_.beta0 + (1.0 - config_.beta0) * frac;
+}
+
+std::vector<PrioritizedReplay::Sample> PrioritizedReplay::SampleBatch(
+    size_t batch, Rng* rng) {
+  CROWDRL_CHECK(size_ > 0);
+  std::vector<Sample> out;
+  out.reserve(batch);
+  const double total = tree_[1];
+  if (total <= 0) {
+    for (size_t i = 0; i < batch; ++i) {
+      out.push_back({rng->UniformInt(size_), 1.0f});
+    }
+    return out;
+  }
+  const double b = beta();
+  sample_steps_ += static_cast<int64_t>(batch);
+  const double segment = total / static_cast<double>(batch);
+  double max_weight = 0.0;
+  std::vector<double> weights(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    // Stratified: one draw per equal-mass segment.
+    const double mass = (static_cast<double>(i) + rng->Uniform()) * segment;
+    const size_t slot = FindPrefix(std::min(mass, total * (1.0 - 1e-12)));
+    const double prob = tree_[leaves_ + slot] / total;
+    const double w =
+        std::pow(static_cast<double>(size_) * std::max(prob, 1e-12), -b);
+    weights[i] = w;
+    max_weight = std::max(max_weight, w);
+    out.push_back({slot, 1.0f});
+  }
+  for (size_t i = 0; i < batch; ++i) {
+    out[i].weight = static_cast<float>(weights[i] / max_weight);
+  }
+  return out;
+}
+
+void PrioritizedReplay::UpdatePriority(size_t slot, double td_error) {
+  CROWDRL_CHECK(slot < config_.capacity);
+  const double p = std::max(std::fabs(td_error), config_.min_priority);
+  max_priority_ = std::max(max_priority_, p);
+  SetLeaf(slot, std::pow(p, config_.alpha));
+}
+
+}  // namespace crowdrl

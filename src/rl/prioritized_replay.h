@@ -1,0 +1,70 @@
+#ifndef CROWDRL_RL_PRIORITIZED_REPLAY_H_
+#define CROWDRL_RL_PRIORITIZED_REPLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/transition.h"
+
+namespace crowdrl {
+
+/// Hyper-parameters of proportional prioritized replay (Schaul et al. [25]).
+struct PrioritizedReplayConfig {
+  size_t capacity = 1000;  ///< paper: "buffer size for DDQN is 1000"
+  double alpha = 0.6;      ///< priority exponent
+  double beta0 = 0.4;      ///< initial importance-sampling exponent
+  double beta_anneal_steps = 20000;  ///< linear β → 1 over this many samples
+  double min_priority = 1e-3;        ///< floor so nothing starves
+};
+
+/// \brief Proportional prioritized experience replay backed by a sum tree.
+///
+/// Priorities are |TD error|^α; sampling is stratified over the cumulative
+/// mass; importance-sampling weights (N·P(i))^{−β} / max_j w_j correct the
+/// induced bias, with β annealed toward 1.
+class PrioritizedReplay {
+ public:
+  explicit PrioritizedReplay(const PrioritizedReplayConfig& config);
+
+  /// One sampled slot with its IS weight.
+  struct Sample {
+    size_t slot;
+    float weight;  ///< normalized importance-sampling weight in (0, 1]
+  };
+
+  /// Inserts with max-seen priority (new experiences replay at least once).
+  size_t Add(Transition t);
+
+  /// Stratified sample of `batch` slots. Advances the β annealing clock.
+  std::vector<Sample> SampleBatch(size_t batch, Rng* rng);
+
+  /// Re-prioritizes a slot after its TD error was re-evaluated.
+  void UpdatePriority(size_t slot, double td_error);
+
+  Transition& at(size_t slot) { return items_[slot]; }
+  const Transition& at(size_t slot) const { return items_[slot]; }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return config_.capacity; }
+  bool empty() const { return size_ == 0; }
+  double total_priority() const { return tree_[1]; }
+  double beta() const;
+
+ private:
+  void SetLeaf(size_t leaf, double value);
+  size_t FindPrefix(double mass) const;
+
+  PrioritizedReplayConfig config_;
+  size_t leaves_;              // power-of-two leaf count
+  std::vector<double> tree_;   // 1-indexed implicit binary tree
+  std::vector<Transition> items_;
+  size_t size_ = 0;
+  size_t next_ = 0;
+  double max_priority_ = 1.0;
+  int64_t sample_steps_ = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_RL_PRIORITIZED_REPLAY_H_

@@ -1,0 +1,30 @@
+#include "rl/replay_buffer.h"
+
+namespace crowdrl {
+
+ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
+  CROWDRL_CHECK(capacity > 0);
+  items_.reserve(capacity);
+}
+
+size_t ReplayBuffer::Add(Transition t) {
+  size_t slot;
+  if (items_.size() < capacity_) {
+    slot = items_.size();
+    items_.push_back(std::move(t));
+  } else {
+    slot = next_;
+    items_[slot] = std::move(t);
+  }
+  next_ = (next_ + 1) % capacity_;
+  return slot;
+}
+
+std::vector<size_t> ReplayBuffer::Sample(size_t batch, Rng* rng) const {
+  CROWDRL_CHECK(!items_.empty());
+  std::vector<size_t> out(batch);
+  for (auto& slot : out) slot = rng->UniformInt(items_.size());
+  return out;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,41 @@
+#ifndef CROWDRL_RL_REPLAY_BUFFER_H_
+#define CROWDRL_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/transition.h"
+
+namespace crowdrl {
+
+/// \brief Fixed-capacity ring buffer with uniform sampling — the vanilla
+/// experience replay memory ("a large memory buffer sorted by occurrence
+/// time"). Used by the ablation benches; the full framework uses
+/// PrioritizedReplay.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity);
+
+  /// Inserts a transition, evicting the oldest when full. Returns the slot.
+  size_t Add(Transition t);
+
+  /// Uniformly samples `batch` slot indices (with replacement).
+  std::vector<size_t> Sample(size_t batch, Rng* rng) const;
+
+  Transition& at(size_t slot) { return items_[slot]; }
+  const Transition& at(size_t slot) const { return items_[slot]; }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;
+  std::vector<Transition> items_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_RL_REPLAY_BUFFER_H_

@@ -1,0 +1,75 @@
+#include "sim/behavior.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+BehaviorModel::BehaviorModel(const BehaviorConfig& config) : config_(config) {
+  CROWDRL_CHECK(config.temperature > 0);
+}
+
+double BehaviorModel::AwardUtility(double award) const {
+  if (award <= 0) return 0.0;
+  const double v =
+      std::log1p(award) / std::log1p(config_.award_saturation);
+  return v > 1.0 ? 1.0 : v;
+}
+
+double BehaviorModel::Utility(const Worker& worker, const Task& task) const {
+  CROWDRL_DCHECK(task.category >= 0 &&
+                 task.category < static_cast<int>(worker.pref_category.size()));
+  CROWDRL_DCHECK(task.domain >= 0 &&
+                 task.domain < static_cast<int>(worker.pref_domain.size()));
+  const double cat = worker.pref_category[task.category];
+  const double dom = worker.pref_domain[task.domain];
+  const double award = worker.award_sensitivity * AwardUtility(task.award);
+  return config_.w_category * cat + config_.w_domain * dom +
+         config_.w_award * award + config_.w_synergy * cat * dom;
+}
+
+double BehaviorModel::InterestProb(const Worker& worker,
+                                   const Task& task) const {
+  const double tau = config_.base_threshold + worker.pickiness;
+  const double z = (Utility(worker, task) - tau) / config_.temperature;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+namespace {
+/// splitmix64-style avalanche over the (worker, task, arrival, seed) key.
+uint64_t HashDraw(uint64_t a, uint64_t b, uint64_t c, uint64_t seed) {
+  uint64_t x = seed;
+  x ^= a + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+  x ^= b + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+  x ^= c + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+bool BehaviorModel::IsInterested(const Worker& worker, const Task& task,
+                                 int64_t arrival_index) const {
+  const uint64_t h =
+      HashDraw(static_cast<uint64_t>(worker.id),
+               static_cast<uint64_t>(task.id),
+               static_cast<uint64_t>(arrival_index), config_.seed);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < InterestProb(worker, task);
+}
+
+int BehaviorModel::FirstInterested(const Worker& worker,
+                                   const std::vector<const Task*>& ranked,
+                                   int64_t arrival_index) const {
+  const int limit = config_.patience < 0
+                        ? static_cast<int>(ranked.size())
+                        : std::min<int>(config_.patience,
+                                        static_cast<int>(ranked.size()));
+  for (int r = 0; r < limit; ++r) {
+    if (IsInterested(worker, *ranked[r], arrival_index)) return r;
+  }
+  return -1;
+}
+
+}  // namespace crowdrl

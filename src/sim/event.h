@@ -1,0 +1,37 @@
+#ifndef CROWDRL_SIM_EVENT_H_
+#define CROWDRL_SIM_EVENT_H_
+
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// The three event kinds the environment produces (Fig. 2: requesters
+/// create/expire tasks; workers come).
+enum class EventType : uint8_t {
+  kTaskCreated = 0,
+  kTaskExpired = 1,
+  kWorkerArrival = 2,
+};
+
+/// \brief One timestamped environment event.
+///
+/// A trace (real or synthetic) is a chronologically sorted vector of these;
+/// the replay harness feeds them to the platform and, on each
+/// kWorkerArrival, asks the policy under evaluation for an arrangement.
+struct Event {
+  SimTime time = 0;
+  EventType type = EventType::kTaskCreated;
+  TaskId task = kInvalidTask;      ///< for task events
+  WorkerId worker = kInvalidWorker;  ///< for arrivals
+
+  /// Chronological order; ties resolve task lifecycle before arrivals so a
+  /// worker arriving exactly at a deadline no longer sees the expired task.
+  bool operator<(const Event& other) const {
+    if (time != other.time) return time < other.time;
+    return static_cast<uint8_t>(type) < static_cast<uint8_t>(other.type);
+  }
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SIM_EVENT_H_

@@ -1,0 +1,88 @@
+#include "sim/platform.h"
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+Platform::Platform(std::vector<Task> tasks, std::vector<Worker> workers)
+    : tasks_(std::move(tasks)), workers_(std::move(workers)) {
+  pool_pos_.assign(tasks_.size(), -1);
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    CROWDRL_CHECK_MSG(tasks_[i].id == static_cast<TaskId>(i),
+                      "task ids must be dense 0..n-1");
+  }
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    CROWDRL_CHECK_MSG(workers_[i].id == static_cast<WorkerId>(i),
+                      "worker ids must be dense 0..n-1");
+  }
+}
+
+Status Platform::ApplyEvent(const Event& event) {
+  if (event.time < now_) {
+    return Status::FailedPrecondition("events must be applied in time order");
+  }
+  now_ = event.time;
+  switch (event.type) {
+    case EventType::kTaskCreated: {
+      if (event.task < 0 || event.task >= static_cast<TaskId>(tasks_.size())) {
+        return Status::OutOfRange("unknown task in create event");
+      }
+      if (pool_pos_[event.task] >= 0) {
+        return Status::AlreadyExists("task already available");
+      }
+      pool_pos_[event.task] = static_cast<int32_t>(available_.size());
+      available_.push_back(event.task);
+      return Status::OK();
+    }
+    case EventType::kTaskExpired: {
+      if (event.task < 0 || event.task >= static_cast<TaskId>(tasks_.size())) {
+        return Status::OutOfRange("unknown task in expire event");
+      }
+      const int32_t pos = pool_pos_[event.task];
+      if (pos < 0) {
+        return Status::NotFound("expiring task not in pool");
+      }
+      const TaskId moved = available_.back();
+      available_[pos] = moved;
+      pool_pos_[moved] = pos;
+      available_.pop_back();
+      pool_pos_[event.task] = -1;
+      return Status::OK();
+    }
+    case EventType::kWorkerArrival: {
+      if (event.worker < 0 ||
+          event.worker >= static_cast<WorkerId>(workers_.size())) {
+        return Status::OutOfRange("unknown worker in arrival event");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled event type");
+}
+
+bool Platform::IsAvailable(TaskId id) const {
+  return id >= 0 && id < static_cast<TaskId>(tasks_.size()) &&
+         pool_pos_[id] >= 0;
+}
+
+Task& Platform::task(TaskId id) {
+  CROWDRL_CHECK(id >= 0 && id < static_cast<TaskId>(tasks_.size()));
+  return tasks_[id];
+}
+
+const Task& Platform::task(TaskId id) const {
+  CROWDRL_CHECK(id >= 0 && id < static_cast<TaskId>(tasks_.size()));
+  return tasks_[id];
+}
+
+Worker& Platform::worker(WorkerId id) {
+  CROWDRL_CHECK(id >= 0 && id < static_cast<WorkerId>(workers_.size()));
+  return workers_[id];
+}
+
+const Worker& Platform::worker(WorkerId id) const {
+  CROWDRL_CHECK(id >= 0 && id < static_cast<WorkerId>(workers_.size()));
+  return workers_[id];
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,56 @@
+#ifndef CROWDRL_SIM_PLATFORM_H_
+#define CROWDRL_SIM_PLATFORM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sim/event.h"
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// \brief The crowdsourcing platform's world state: the task/worker
+/// registries and the pool of currently-available tasks.
+///
+/// The pool is maintained incrementally from the event stream (create /
+/// expire), with O(1) insert and remove; `available()` is the set {T_i}
+/// a newly-arrived worker can see. The platform itself is policy-agnostic —
+/// it just does the bookkeeping of Fig. 2's "Available task Pool".
+class Platform {
+ public:
+  Platform(std::vector<Task> tasks, std::vector<Worker> workers);
+
+  /// Applies a single event in chronological order. Arrival events only
+  /// advance the clock (the harness handles recommendation + feedback).
+  Status ApplyEvent(const Event& event);
+
+  /// Currently available task ids (unordered).
+  const std::vector<TaskId>& available() const { return available_; }
+
+  /// Whether `id` is currently in the available pool.
+  bool IsAvailable(TaskId id) const;
+
+  Task& task(TaskId id);
+  const Task& task(TaskId id) const;
+  Worker& worker(WorkerId id);
+  const Worker& worker(WorkerId id) const;
+
+  size_t num_tasks() const { return tasks_.size(); }
+  size_t num_workers() const { return workers_.size(); }
+  SimTime now() const { return now_; }
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Worker>& workers() const { return workers_; }
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Worker> workers_;
+  std::vector<TaskId> available_;
+  /// position of each task in `available_`, or -1.
+  std::vector<int32_t> pool_pos_;
+  SimTime now_ = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SIM_PLATFORM_H_

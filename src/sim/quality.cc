@@ -1,0 +1,48 @@
+#include "sim/quality.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+QualityModel::QualityModel(double p) : p_(p) {
+  CROWDRL_CHECK_MSG(p >= 1.0, "Dixit-Stiglitz requires p >= 1");
+}
+
+double QualityModel::PowSum(double p_sum) const {
+  if (p_sum <= 0) return 0.0;
+  return std::pow(p_sum, 1.0 / p_);
+}
+
+double QualityModel::TaskQuality(const Task& task) const {
+  return PowSum(task.quality_p_sum);
+}
+
+double QualityModel::QualityAfter(const Task& task,
+                                  double worker_quality) const {
+  CROWDRL_DCHECK(worker_quality >= 0.0);
+  return PowSum(task.quality_p_sum + std::pow(worker_quality, p_));
+}
+
+double QualityModel::Gain(const Task& task, double worker_quality) const {
+  return QualityAfter(task, worker_quality) - TaskQuality(task);
+}
+
+double QualityModel::ApplyCompletion(Task* task,
+                                     double worker_quality) const {
+  const double before = TaskQuality(*task);
+  task->quality_p_sum += std::pow(worker_quality, p_);
+  task->completions += 1;
+  return TaskQuality(*task) - before;
+}
+
+double QualityModel::GainFromValues(double task_quality, double worker_quality,
+                                    double p) {
+  CROWDRL_DCHECK(p >= 1.0);
+  const double p_sum = std::pow(std::max(task_quality, 0.0), p) +
+                       std::pow(std::max(worker_quality, 0.0), p);
+  return std::pow(p_sum, 1.0 / p) - std::max(task_quality, 0.0);
+}
+
+}  // namespace crowdrl

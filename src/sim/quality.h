@@ -1,0 +1,51 @@
+#ifndef CROWDRL_SIM_QUALITY_H_
+#define CROWDRL_SIM_QUALITY_H_
+
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// \brief Dixit–Stiglitz task-quality aggregation (paper Eq. 5):
+///
+///   q_t = (Σ_{i∈I_t} q_{w_i}^p)^{1/p},   p ≥ 1,
+///
+/// capturing diminishing marginal utility of additional completions.
+/// p = 1 models AMT-style independent micro-tasks (quality = sum);
+/// p → ∞ models competition platforms (quality = best worker). The paper's
+/// experiments use p = 2.
+class QualityModel {
+ public:
+  explicit QualityModel(double p = 2.0);
+
+  double p() const { return p_; }
+
+  /// Current quality of `task` from its running Σ q_w^p.
+  double TaskQuality(const Task& task) const;
+
+  /// Quality the task would have after a completion by a worker of quality
+  /// `worker_quality` (does not mutate).
+  double QualityAfter(const Task& task, double worker_quality) const;
+
+  /// Marginal gain q_new − q_old for a completion (the MDP(r) reward).
+  double Gain(const Task& task, double worker_quality) const;
+
+  /// Applies a completion: bumps `quality_p_sum` and `completions`.
+  /// Returns the realized gain.
+  double ApplyCompletion(Task* task, double worker_quality) const;
+
+  /// Gain computed from the observable values (q_t, q_w) alone:
+  /// ((q_t^p + q_w^p)^{1/p}) − q_t. This is what baselines use to estimate
+  /// "the actual value of the quality gain" (Sec. VII-A3) — it needs no
+  /// access to the task's completion history.
+  static double GainFromValues(double task_quality, double worker_quality,
+                               double p);
+
+ private:
+  double PowSum(double p_sum) const;
+
+  double p_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SIM_QUALITY_H_

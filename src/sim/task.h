@@ -1,0 +1,59 @@
+#ifndef CROWDRL_SIM_TASK_H_
+#define CROWDRL_SIM_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace crowdrl {
+
+using TaskId = int32_t;
+using WorkerId = int32_t;
+inline constexpr TaskId kInvalidTask = -1;
+inline constexpr WorkerId kInvalidWorker = -1;
+
+/// \brief A crowdsourcing task as published by a requester.
+///
+/// The observable attributes follow Sec. IV-A: category, domain and award
+/// (the top-3 worker motivations: skill variety, task autonomy,
+/// remuneration), plus the posting window [start, deadline) set by the
+/// requester. `quality_p_sum` is the running Σ_i q_{w_i}^p maintained by the
+/// QualityModel so that Dixit–Stiglitz quality updates are O(1).
+struct Task {
+  TaskId id = kInvalidTask;
+  int category = 0;
+  int domain = 0;
+  double award = 0.0;
+  SimTime start = 0;
+  SimTime deadline = 0;
+
+  /// Σ_{i∈I_t} q_{w_i}^p (see QualityModel). 0 until first completion.
+  double quality_p_sum = 0.0;
+  /// Number of completions so far.
+  int completions = 0;
+
+  bool AvailableAt(SimTime t) const { return t >= start && t < deadline; }
+};
+
+/// \brief A crowd worker.
+///
+/// `quality` is the platform-visible skill estimate q_w ∈ [0,1] ("we already
+/// know the quality of workers from their answer history or qualification
+/// tests"). The remaining fields are the *latent* ground truth driving the
+/// simulator's behaviour model — policies never see them; they exist because
+/// our synthetic trace substitutes for the CrowdSpring log (see DESIGN.md).
+struct Worker {
+  WorkerId id = kInvalidWorker;
+  double quality = 0.5;
+
+  // ---- Latent ground truth (BehaviorModel only) ----
+  std::vector<float> pref_category;  ///< affinity per category, in [0,1]
+  std::vector<float> pref_domain;    ///< affinity per domain, in [0,1]
+  double award_sensitivity = 0.5;    ///< payment- vs interest-driven mix
+  double pickiness = 0.0;            ///< per-worker acceptance threshold shift
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SIM_TASK_H_

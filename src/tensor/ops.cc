@@ -1,0 +1,143 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdrl {
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  CROWDRL_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  // i-k-j ordering: the inner loop runs over contiguous rows of B and C,
+  // which auto-vectorizes and keeps both streams in cache.
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c.row_data(i);
+    const float* arow = a.row_data(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;  // zero-padded state rows are common
+      const float* brow = b.row_data(kk);
+      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
+  CROWDRL_CHECK_MSG(a.cols() == b.cols(), "matmulTB shape mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row_data(i);
+    float* crow = c.row_data(i);
+    for (size_t j = 0; j < n; ++j) {
+      crow[j] = Dot(arow, b.row_data(j), k);
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
+  CROWDRL_CHECK_MSG(a.rows() == b.rows(), "matmulTA shape mismatch");
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.row_data(kk);
+    const float* brow = b.row_data(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.row_data(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+void SoftmaxRowsInPlace(Matrix* m, const std::vector<uint8_t>* col_mask,
+                        long valid_rows) {
+  const size_t rows = m->rows(), cols = m->cols();
+  if (col_mask != nullptr) {
+    CROWDRL_CHECK(col_mask->size() == cols);
+  }
+  const size_t active_rows =
+      valid_rows < 0 ? rows : std::min<size_t>(rows, valid_rows);
+  for (size_t r = 0; r < active_rows; ++r) {
+    float* row = m->row_data(r);
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (size_t c = 0; c < cols; ++c) {
+      if (col_mask && !(*col_mask)[c]) continue;
+      max_v = std::max(max_v, row[c]);
+    }
+    if (!std::isfinite(max_v)) {
+      // Every column masked out: emit a zero row rather than NaNs.
+      std::fill(row, row + cols, 0.0f);
+      continue;
+    }
+    float sum = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      if (col_mask && !(*col_mask)[c]) {
+        row[c] = 0.0f;
+      } else {
+        row[c] = std::exp(row[c] - max_v);
+        sum += row[c];
+      }
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+  for (size_t r = active_rows; r < rows; ++r) {
+    float* row = m->row_data(r);
+    std::fill(row, row + cols, 0.0f);
+  }
+}
+
+Matrix SoftmaxRowsBackward(const Matrix& probs, const Matrix& grad_probs) {
+  CROWDRL_CHECK(probs.rows() == grad_probs.rows() &&
+                probs.cols() == grad_probs.cols());
+  Matrix out(probs.rows(), probs.cols());
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    const float* p = probs.row_data(r);
+    const float* dp = grad_probs.row_data(r);
+    float inner = 0.0f;
+    for (size_t c = 0; c < probs.cols(); ++c) inner += p[c] * dp[c];
+    float* o = out.row_data(r);
+    for (size_t c = 0; c < probs.cols(); ++c) o[c] = p[c] * (dp[c] - inner);
+  }
+  return out;
+}
+
+std::vector<double> SoftmaxVector(const std::vector<double>& logits) {
+  std::vector<double> out(logits.size());
+  if (logits.empty()) return out;
+  const double max_v = *std::max_element(logits.begin(), logits.end());
+  double sum = 0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_v);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  CROWDRL_CHECK(a.size() == b.size());
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0 || nb <= 0) return 0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,51 @@
+#ifndef CROWDRL_TENSOR_OPS_H_
+#define CROWDRL_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace crowdrl {
+
+/// \file
+/// Free-function linear-algebra kernels. The three matmul variants cover
+/// every product the NN backward passes need without materializing
+/// transposes:
+///   Matmul(A, B)            = A · B
+///   MatmulTransposeB(A, B)  = A · Bᵀ   (e.g. attention scores Q·Kᵀ)
+///   MatmulTransposeA(A, B)  = Aᵀ · B   (e.g. weight gradients Xᵀ·dY)
+
+/// C = A·B. Shapes: (m×k)·(k×n) → m×n.
+Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// C = A·Bᵀ. Shapes: (m×k)·(n×k)ᵀ → m×n.
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ·B. Shapes: (k×m)ᵀ·(k×n) → m×n.
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b);
+
+/// In-place row softmax. When `valid_rows >= 0`, only the first `valid_rows`
+/// rows are transformed (the rest are zeroed); when `col_mask` is non-null,
+/// entries at masked-out columns (mask==0) receive zero probability. This is
+/// the masked softmax used by the attention layer so that zero-padded task
+/// slots neither attend nor get attended to.
+void SoftmaxRowsInPlace(Matrix* m, const std::vector<uint8_t>* col_mask = nullptr,
+                        long valid_rows = -1);
+
+/// Backward of row softmax: given P = softmax(S) row-wise and upstream dP,
+/// returns dS where dS = P ∘ (dP − rowsum(dP ∘ P)).
+Matrix SoftmaxRowsBackward(const Matrix& probs, const Matrix& grad_probs);
+
+/// Numerically-stable softmax of a plain vector (utility for policies).
+std::vector<double> SoftmaxVector(const std::vector<double>& logits);
+
+/// Dot product of two equal-length float spans.
+float Dot(const float* a, const float* b, size_t n);
+
+/// Cosine similarity of two equal-length vectors; 0 when either is zero.
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_TENSOR_OPS_H_

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_cosine.h"
+#include "baselines/greedy_nn.h"
+#include "baselines/linucb.h"
+#include "baselines/random_policy.h"
+#include "baselines/taskrec_pmf.h"
+
+namespace crowdrl {
+namespace {
+
+/// Shared observation fixture: 2 workers × 4 tasks, 2 categories/domains.
+struct Fixture {
+  std::vector<std::vector<float>> task_feats;
+  Observation obs;
+
+  Fixture() {
+    obs.time = 1000;
+    obs.arrival_index = 0;
+    obs.worker = 0;
+    obs.worker_quality = 0.8;
+    // Worker feature space = 2 cat + 2 dom + 2 award = 6 dims; the worker
+    // historically completed category-0 tasks.
+    obs.worker_features = {0.5f, 0.0f, 0.3f, 0.0f, 0.2f, 0.0f};
+    for (int i = 0; i < 4; ++i) {
+      task_feats.push_back(std::vector<float>(6, 0.0f));
+    }
+    // Task 0 matches the worker profile exactly; task 1 is orthogonal.
+    task_feats[0] = {1, 0, 1, 0, 1, 0};
+    task_feats[1] = {0, 1, 0, 1, 0, 1};
+    task_feats[2] = {1, 0, 0, 1, 0, 1};
+    task_feats[3] = {0, 1, 1, 0, 1, 0};
+    for (int i = 0; i < 4; ++i) {
+      TaskSnapshot snap;
+      snap.id = i;
+      snap.category = i % 2;
+      snap.domain = i % 2;
+      snap.award = 100 + i;
+      snap.deadline = 100000;
+      snap.features = &task_feats[i];
+      snap.quality = 0.5;
+      obs.tasks.push_back(snap);
+    }
+  }
+};
+
+TEST(RandomPolicyTest, ProducesPermutations) {
+  Fixture fx;
+  RandomPolicy policy(3);
+  auto r1 = policy.Rank(fx.obs);
+  std::vector<int> sorted = r1;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+  // Different calls eventually produce different orders.
+  bool differs = false;
+  for (int i = 0; i < 20 && !differs; ++i) {
+    differs = policy.Rank(fx.obs) != r1;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GreedyCosineTest, RanksMatchingTaskFirst) {
+  Fixture fx;
+  GreedyCosine policy(Objective::kWorkerBenefit, 2.0);
+  auto ranking = policy.Rank(fx.obs);
+  EXPECT_EQ(ranking[0], 0);        // perfect feature match
+  EXPECT_EQ(ranking.back(), 1);    // orthogonal task last
+}
+
+TEST(GreedyCosineTest, RequesterObjectiveWeighsGain) {
+  Fixture fx;
+  // Make the orthogonal task have far lower quality (higher marginal gain
+  // is impossible — gain depends only on q_t and q_w; lower q_t ⇒ higher
+  // gain under Dixit–Stiglitz).
+  fx.obs.tasks[0].quality = 5.0;  // saturated task: little gain left
+  fx.obs.tasks[2].quality = 0.0;  // fresh task, same category as worker
+  GreedyCosine policy(Objective::kRequesterBenefit, 2.0);
+  auto ranking = policy.Rank(fx.obs);
+  EXPECT_EQ(ranking[0], 2) << "fresh matching task should win";
+}
+
+TEST(LinUcbTest, LearnsLinearRewardSignal) {
+  Fixture fx;
+  LinUcbConfig cfg;
+  cfg.alpha = 0.1;
+  LinUcb policy(Objective::kWorkerBenefit, 6, 6, cfg);
+  // Reward exactly when task 0 (feature-matching) is completed; train by
+  // feeding feedback on rankings where task 0 is at various positions.
+  for (int round = 0; round < 60; ++round) {
+    auto ranking = policy.Rank(fx.obs);
+    Feedback fb;
+    // Worker "accepts" task 0 wherever it appears (cascade position).
+    for (size_t pos = 0; pos < ranking.size(); ++pos) {
+      if (ranking[pos] == 0) {
+        fb.completed_pos = static_cast<int>(pos);
+        fb.completed_index = 0;
+        break;
+      }
+    }
+    policy.OnFeedback(fx.obs, ranking, fb);
+  }
+  auto ranking = policy.Rank(fx.obs);
+  EXPECT_EQ(ranking[0], 0) << "LinUCB should have learned the winner";
+  EXPECT_GE(policy.updates(), 60);
+}
+
+TEST(LinUcbTest, UcbBonusShrinksWithObservations) {
+  Fixture fx;
+  LinUcbConfig cfg;
+  cfg.alpha = 1.0;
+  LinUcb policy(Objective::kWorkerBenefit, 6, 6, cfg);
+  // Repeatedly observing *only* context 0 with zero reward shrinks its UCB
+  // bonus; the never-observed arms keep their fresh-ridge bonuses and must
+  // outrank it.
+  std::vector<int> only_task0 = {0};
+  Feedback skip_all;  // completed_pos = -1
+  for (int i = 0; i < 50; ++i) {
+    policy.OnFeedback(fx.obs, only_task0, skip_all);
+  }
+  auto after = policy.Rank(fx.obs);
+  EXPECT_NE(after[0], 0) << "over-observed zero-reward arm must sink";
+}
+
+TEST(LinUcbTest, HistoryWarmStartsTheModel) {
+  Fixture fx;
+  LinUcb policy(Objective::kWorkerBenefit, 6, 6, LinUcbConfig{});
+  for (int i = 0; i < 30; ++i) {
+    // Browsed task 1 (skip), completed task 0.
+    policy.OnHistory(fx.obs, {1, 0}, /*completed_pos=*/1, 0.4);
+  }
+  auto theta = policy.Theta();
+  double norm = 0;
+  for (double v : theta) norm += v * v;
+  EXPECT_GT(norm, 0.0);
+  // The rewarded context (task 0) must outrank the orthogonal task 1;
+  // partially-overlapping unexplored tasks may still carry a larger UCB
+  // bonus, so only the clean comparison is asserted.
+  auto ranking = policy.Rank(fx.obs);
+  int pos0 = -1, pos1 = -1;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i] == 0) pos0 = static_cast<int>(i);
+    if (ranking[i] == 1) pos1 = static_cast<int>(i);
+  }
+  EXPECT_LT(pos0, pos1);
+}
+
+TEST(GreedyNnTest, DailyRetrainFitsLabels) {
+  Fixture fx;
+  GreedyNnConfig cfg;
+  cfg.hidden = {16, 8};
+  cfg.epochs_per_refresh = 30;
+  cfg.seed = 4;
+  GreedyNn policy(Objective::kWorkerBenefit, 6, 6, cfg);
+
+  // Before training, feed labeled feedback: task 0 completed, tasks seen
+  // before it skipped.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> ranking = {1, 2, 0, 3};
+    Feedback fb;
+    fb.completed_pos = 2;
+    fb.completed_index = 0;
+    policy.OnFeedback(fx.obs, ranking, fb);
+  }
+  EXPECT_GT(policy.buffered_rows(), 0u);
+  policy.OnDayEnd(kMinutesPerDay);
+  EXPECT_EQ(policy.refreshes(), 1);
+  auto ranking = policy.Rank(fx.obs);
+  EXPECT_EQ(ranking[0], 0) << "net should now predict task 0 best";
+}
+
+TEST(GreedyNnTest, RequesterVariantUsesQualityChannels) {
+  GreedyNnConfig cfg;
+  GreedyNn worker_net(Objective::kWorkerBenefit, 6, 6, cfg);
+  GreedyNn requester_net(Objective::kRequesterBenefit, 6, 6, cfg);
+  // The requester variant has 2 extra input dims — verify via behaviour:
+  // feeding the same feedback must not abort on dimension mismatch.
+  Fixture fx;
+  std::vector<int> ranking = {0, 1, 2, 3};
+  Feedback fb;
+  fb.completed_pos = 0;
+  fb.completed_index = 0;
+  fb.quality_gain = 0.37;
+  worker_net.OnFeedback(fx.obs, ranking, fb);
+  requester_net.OnFeedback(fx.obs, ranking, fb);
+  EXPECT_EQ(worker_net.buffered_rows(), 1u);
+  EXPECT_EQ(requester_net.buffered_rows(), 1u);
+}
+
+TEST(TaskrecTest, LearnsWorkerTaskAffinity) {
+  Fixture fx;
+  TaskrecConfig cfg;
+  cfg.epochs_per_refresh = 40;
+  cfg.latent_dim = 8;
+  TaskrecPmf policy(/*workers=*/2, /*tasks=*/4, /*categories=*/2, cfg);
+
+  for (int round = 0; round < 25; ++round) {
+    std::vector<int> ranking = {1, 0, 2, 3};
+    Feedback fb;
+    fb.completed_pos = 1;  // worker skips task 1, completes task 0
+    fb.completed_index = 0;
+    policy.OnFeedback(fx.obs, ranking, fb);
+  }
+  policy.OnDayEnd(kMinutesPerDay);
+  auto ranking = policy.Rank(fx.obs);
+  // Task 0 (always completed) must outrank task 1 (always skipped).
+  int pos0 = -1, pos1 = -1;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i] == 0) pos0 = static_cast<int>(i);
+    if (ranking[i] == 1) pos1 = static_cast<int>(i);
+  }
+  EXPECT_LT(pos0, pos1);
+}
+
+TEST(TaskrecTest, ColdTasksInheritCategoryFactor) {
+  Fixture fx;
+  TaskrecConfig cfg;
+  cfg.epochs_per_refresh = 40;
+  TaskrecPmf policy(2, 4, 2, cfg);
+  // Train only on task 0 (category 0) as positive, task 1 (category 1)
+  // as negative.
+  for (int round = 0; round < 30; ++round) {
+    std::vector<int> ranking = {1, 0, 2, 3};
+    Feedback fb;
+    fb.completed_pos = 1;
+    fb.completed_index = 0;
+    policy.OnFeedback(fx.obs, ranking, fb);
+  }
+  policy.OnDayEnd(kMinutesPerDay);
+  // Task 2 is category 0 (like the positive task), task 3 is category 1:
+  // the never-touched task 2 should score at least as well as task 3
+  // through the shared category factors.
+  auto ranking = policy.Rank(fx.obs);
+  int pos2 = -1, pos3 = -1;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i] == 2) pos2 = static_cast<int>(i);
+    if (ranking[i] == 3) pos3 = static_cast<int>(i);
+  }
+  EXPECT_LT(pos2, pos3);
+}
+
+TEST(BaselineDeathTest, BalancedObjectiveRejected) {
+  EXPECT_DEATH(GreedyCosine(Objective::kBalanced, 2.0), "one side");
+  EXPECT_DEATH(LinUcb(Objective::kBalanced, 4, 4, LinUcbConfig{}),
+               "one side");
+}
+
+}  // namespace
+}  // namespace crowdrl

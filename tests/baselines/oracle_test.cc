@@ -1,0 +1,80 @@
+#include "baselines/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+struct OracleFixture {
+  std::vector<Task> tasks;
+  std::vector<Worker> workers;
+  std::unique_ptr<Platform> platform;
+  BehaviorModel behavior;
+  std::vector<std::vector<float>> feats;
+  Observation obs;
+
+  OracleFixture() {
+    for (int i = 0; i < 3; ++i) {
+      Task t;
+      t.id = i;
+      t.category = i;
+      t.domain = 0;
+      t.award = 200;
+      t.start = 0;
+      t.deadline = 10000;
+      tasks.push_back(t);
+    }
+    Worker w;
+    w.id = 0;
+    w.quality = 0.7;
+    w.pref_category = {0.95f, 0.3f, 0.05f};  // loves cat 0
+    w.pref_domain = {0.8f};
+    w.award_sensitivity = 0.5;
+    workers.push_back(w);
+    platform = std::make_unique<Platform>(tasks, workers);
+
+    obs.worker = 0;
+    obs.worker_quality = 0.7;
+    obs.worker_features.assign(4, 0.0f);
+    for (int i = 0; i < 3; ++i) {
+      feats.push_back(std::vector<float>(4, 0.0f));
+    }
+    for (int i = 0; i < 3; ++i) {
+      TaskSnapshot snap;
+      snap.id = i;
+      snap.category = i;
+      snap.features = &feats[i];
+      snap.quality = 0.0;
+      obs.tasks.push_back(snap);
+    }
+  }
+};
+
+TEST(OracleTest, RanksByTrueInterestProbability) {
+  OracleFixture fx;
+  OraclePolicy oracle(Objective::kWorkerBenefit, fx.platform.get(),
+                      &fx.behavior, 2.0);
+  auto ranking = oracle.Rank(fx.obs);
+  // Preferences are monotone decreasing in category index.
+  EXPECT_EQ(ranking, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(OracleTest, RequesterVariantWeighsTrueGain) {
+  OracleFixture fx;
+  // Saturate task 0's quality so its marginal gain collapses.
+  fx.obs.tasks[0].quality = 10.0;
+  OraclePolicy oracle(Objective::kRequesterBenefit, fx.platform.get(),
+                      &fx.behavior, 2.0);
+  auto ranking = oracle.Rank(fx.obs);
+  EXPECT_NE(ranking[0], 0) << "saturated task cannot lead on gain";
+}
+
+TEST(OracleTest, NameIdentifiesItAsReference) {
+  OracleFixture fx;
+  OraclePolicy oracle(Objective::kWorkerBenefit, fx.platform.get(),
+                      &fx.behavior, 2.0);
+  EXPECT_EQ(oracle.name(), "Oracle");
+}
+
+}  // namespace
+}  // namespace crowdrl

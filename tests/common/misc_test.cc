@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/sim_clock.h"
+#include "common/stopwatch.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(SimClockTest, UnitConstants) {
+  EXPECT_EQ(kMinutesPerDay, 1440);
+  EXPECT_EQ(kMinutesPerWeek, 10080);
+  EXPECT_EQ(kMaxSameWorkerGap, 10080);  // φ support = one week
+  EXPECT_EQ(kMaxAnyWorkerGap, 60);      // ϕ support = one hour
+}
+
+TEST(SimClockTest, MonthAndDayIndexing) {
+  EXPECT_EQ(MonthOf(0), 0);
+  EXPECT_EQ(MonthOf(kMinutesPerMonth - 1), 0);
+  EXPECT_EQ(MonthOf(kMinutesPerMonth), 1);
+  EXPECT_EQ(DayOf(kMinutesPerDay * 3 + 5), 3);
+}
+
+TEST(SimClockTest, MonthLabelsCycle) {
+  EXPECT_EQ(MonthLabel(0), "Jan");
+  EXPECT_EQ(MonthLabel(1), "Feb");
+  EXPECT_EQ(MonthLabel(11), "Dec");
+  EXPECT_EQ(MonthLabel(12), "Jan");  // the trace's 13th month
+}
+
+TEST(SimClockTest, FormatIsStable) {
+  EXPECT_EQ(FormatSimTime(0), "m00d00 00:00");
+  EXPECT_EQ(FormatSimTime(kMinutesPerMonth + kMinutesPerDay + 61),
+            "m01d01 01:01");
+}
+
+TEST(CliTest, ParsesKeyValueAndBoolFlags) {
+  const char* argv[] = {"prog",          "--scale=0.5", "--paper",
+                        "positional_arg", "--months=6",  "--name=x y"};
+  CliFlags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.program(), "prog");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_TRUE(flags.GetBool("paper", false));
+  EXPECT_EQ(flags.GetInt("months", 12), 6);
+  EXPECT_EQ(flags.GetString("name", ""), "x y");
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional_arg");
+  EXPECT_TRUE(flags.Has("paper"));
+  EXPECT_FALSE(flags.Has("nope"));
+}
+
+TEST(CliTest, LaterDuplicatesWin) {
+  const char* argv[] = {"prog", "--k=1", "--k=2"};
+  CliFlags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 0), 2);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + i;
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1000.0 * 0.99);
+  const double t1 = sw.ElapsedSeconds();
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), t1 + 1.0);
+}
+
+TEST(MeanAccumulatorTest, ComputesRunningMean) {
+  MeanAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  acc.Add(6.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_EQ(acc.count(), 3);
+}
+
+}  // namespace
+}  // namespace crowdrl

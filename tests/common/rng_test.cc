@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace crowdrl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double acc = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.Uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntIsBoundedAndCoversRange) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(31);
+  const int n = 20000;
+  int64_t sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(4.2);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 4.2, 0.1);
+  // Large-lambda branch.
+  sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(120.0);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 120.0, 1.0);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, DiscreteFollowsWeights) {
+  Rng rng(37);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(43);
+  Rng child = a.Fork();
+  // Drawing from the child must not affect the parent's future stream
+  // relative to a reference that forked identically.
+  Rng b(43);
+  Rng child_b = b.Fork();
+  for (int i = 0; i < 10; ++i) child.NextU64();
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  (void)child_b;
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+namespace helpers {
+Status Fails() { return Status::Internal("boom"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnNotOk(bool fail) {
+  CROWDRL_RETURN_NOT_OK(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+Result<int> ProduceInt(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 7;
+}
+
+Status UseAssignOrReturn(bool fail, int* out) {
+  CROWDRL_ASSIGN_OR_RETURN(*out, ProduceInt(fail));
+  return Status::OK();
+}
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(helpers::UseReturnNotOk(false).ok());
+  EXPECT_EQ(helpers::UseReturnNotOk(true).code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnExtractsOrPropagates) {
+  int out = 0;
+  EXPECT_TRUE(helpers::UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(helpers::UseAssignOrReturn(true, &out).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace crowdrl

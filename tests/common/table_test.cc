@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace crowdrl {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"cr", "0.438"});
+  t.AddRow({"ndcg-cr", "0.768"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("ndcg-cr"), std::string::npos);
+  // Header columns align: "value" starts at the same offset in all rows.
+  const auto header_pos = s.find("value");
+  const auto row_pos = s.find("0.438");
+  EXPECT_EQ(header_pos % (s.find('\n') + 1), row_pos % (s.find('\n') + 1));
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(0.12345, 3), "0.123");
+  EXPECT_EQ(Table::Num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::Num(-1.5, 0), "-2");  // round-half-away for printf
+}
+
+TEST(TableTest, AddRowWithValuesUsesPrecision) {
+  Table t({"m", "a", "b"});
+  t.AddRow("x", {1.23456, 7.0}, 2);
+  EXPECT_EQ(t.rows()[0][1], "1.23");
+  EXPECT_EQ(t.rows()[0][2], "7.00");
+}
+
+TEST(TableTest, WriteCsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.AddRow({"plain", "1"});
+  t.AddRow({"with,comma", "quote\"inside"});
+  const std::string path = "/tmp/crowdrl_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(f, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-xyz/out.csv").ok());
+}
+
+TEST(TableTest, RowCountTracksAdds) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableDeathTest, MismatchedArityAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace crowdrl

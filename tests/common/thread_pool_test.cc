@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace crowdrl {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllIterationsExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, HandlesZeroAndOne) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.ParallelFor(0, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.ParallelFor(1, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, ActuallyUsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> distinct{0};
+  std::atomic<std::thread::id*> ids[64];
+  std::vector<std::thread::id> seen(64);
+  std::atomic<size_t> idx{0};
+  pool.ParallelFor(64, [&](size_t) {
+    // Burn a little time so work actually spreads.
+    volatile double x = 0;
+    for (int i = 0; i < 20000; ++i) x = x + i;
+    const size_t slot = idx.fetch_add(1);
+    seen[slot] = std::this_thread::get_id();
+  });
+  std::sort(seen.begin(), seen.end());
+  const size_t unique = std::unique(seen.begin(), seen.end()) - seen.begin();
+  EXPECT_GE(unique, 2u);
+  (void)distinct;
+  (void)ids;
+}
+
+TEST(ThreadPoolTest, SequentialCallsWork) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(100, [&](size_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 20 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::Global().ParallelFor(10, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_GT(ThreadPool::Global().num_threads(), 0u);
+}
+
+TEST(ThreadPoolTest, ResultsMatchSerialComputation) {
+  ThreadPool pool(8);
+  std::vector<double> out(500);
+  pool.ParallelFor(out.size(), [&](size_t i) {
+    out[i] = static_cast<double>(i) * i;
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<double>(i) * i);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,49 @@
+#include "core/aggregator.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(AggregatorTest, WeightedSumMatchesFormula) {
+  Aggregator agg(0.25);
+  auto combined = agg.Combine({1.0, 0.0, -2.0}, {0.0, 4.0, 2.0});
+  ASSERT_EQ(combined.size(), 3u);
+  EXPECT_DOUBLE_EQ(combined[0], 0.25);
+  EXPECT_DOUBLE_EQ(combined[1], 3.0);
+  EXPECT_DOUBLE_EQ(combined[2], 0.25 * -2.0 + 0.75 * 2.0);
+}
+
+TEST(AggregatorTest, ExtremesSelectOneSide) {
+  std::vector<double> qw = {1, 2, 3};
+  std::vector<double> qr = {9, 8, 7};
+  Aggregator workers_only(1.0);
+  EXPECT_EQ(workers_only.Combine(qw, qr), qw);
+  Aggregator requesters_only(0.0);
+  EXPECT_EQ(requesters_only.Combine(qw, qr), qr);
+}
+
+TEST(AggregatorTest, RankingInterpolatesBetweenObjectives) {
+  // Task A is best for workers, task B for requesters; intermediate
+  // weights must move the argmax from B to A monotonically.
+  std::vector<double> qw = {1.0, 0.0};
+  std::vector<double> qr = {0.0, 1.0};
+  int prev_argmax = 1;
+  for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    Aggregator agg(w);
+    auto c = agg.Combine(qw, qr);
+    const int argmax = c[0] >= c[1] ? 0 : 1;
+    EXPECT_GE(argmax, 0);
+    EXPECT_LE(prev_argmax, argmax + 1);  // never flips back to B after A
+    if (argmax == 0) prev_argmax = 0;
+  }
+  EXPECT_EQ(prev_argmax, 0);
+}
+
+TEST(AggregatorDeathTest, RejectsWeightOutsideUnitInterval) {
+  EXPECT_DEATH(Aggregator(-0.1), "worker_weight");
+  EXPECT_DEATH(Aggregator(1.5), "worker_weight");
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,159 @@
+// Persistence: the arrival statistics and the full framework checkpoint
+// must round-trip losslessly — an arrangement service that restarts should
+// not forget its learned rhythms or value functions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/framework.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/harness.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(ArrivalModelPersistenceTest, RoundTripPreservesStatistics) {
+  ArrivalModel model;
+  Rng rng(4);
+  SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.UniformInt(1, 40);
+    model.RecordArrival(static_cast<int>(rng.UniformInt(30)), t);
+  }
+  std::stringstream ss;
+  ASSERT_TRUE(model.Save(&ss).ok());
+
+  ArrivalModel restored;
+  ASSERT_TRUE(restored.Load(&ss).ok());
+  EXPECT_EQ(restored.num_arrivals(), model.num_arrivals());
+  EXPECT_EQ(restored.last_arrival_time(), model.last_arrival_time());
+  EXPECT_DOUBLE_EQ(restored.new_worker_rate(), model.new_worker_rate());
+  EXPECT_EQ(restored.seen_workers(), model.seen_workers());
+  for (SimTime g : {5, 100, 1440, 5000}) {
+    EXPECT_DOUBLE_EQ(restored.SameWorkerReturnProb(g),
+                     model.SameWorkerReturnProb(g));
+  }
+  for (int w : model.seen_workers()) {
+    EXPECT_EQ(restored.LastArrivalOf(w), model.LastArrivalOf(w));
+  }
+  // Both continue identically after more arrivals.
+  model.RecordArrival(3, t + 100);
+  restored.RecordArrival(3, t + 100);
+  EXPECT_DOUBLE_EQ(restored.any_gap().Prob(30), model.any_gap().Prob(30));
+}
+
+TEST(ArrivalModelPersistenceTest, LoadRejectsGarbage) {
+  std::stringstream ss;
+  ss << "definitely not a checkpoint";
+  ArrivalModel model;
+  EXPECT_FALSE(model.Load(&ss).ok());
+}
+
+class FrameworkCheckpointTest : public ::testing::Test {
+ protected:
+  static Dataset MakeDataset() {
+    SyntheticConfig cfg;
+    cfg.scale = 0.06;
+    cfg.eval_months = 2;
+    cfg.seed = 91;
+    return SyntheticGenerator(cfg).Generate();
+  }
+
+  static ExperimentConfig MakeConfig() {
+    ExperimentConfig cfg;
+    cfg.hidden_dim = 16;
+    cfg.num_heads = 2;
+    cfg.batch_size = 8;
+    cfg.learn_every = 4;
+    cfg.seed = 13;
+    return cfg;
+  }
+};
+
+TEST_F(FrameworkCheckpointTest, SaveLoadRoundTripsTrainedState) {
+  Dataset ds = MakeDataset();
+  const std::string path = "/tmp/crowdrl_framework_ckpt_test.bin";
+
+  // Train a framework over the trace, checkpoint it.
+  ReplayHarness harness(&ds, MakeConfig().harness);
+  Experiment exp(&ds, MakeConfig());
+  FrameworkConfig fc = exp.MakeFrameworkConfig(Objective::kBalanced);
+  TaskArrangementFramework trained(fc, &harness,
+                                   harness.worker_feature_dim(),
+                                   harness.task_feature_dim());
+  harness.Run(&trained);
+  ASSERT_TRUE(trained.SaveState(path).ok());
+
+  // Restore into a freshly-initialized framework; combined scores on a
+  // probe observation must match exactly.
+  ReplayHarness probe_env(&ds, MakeConfig().harness);
+  TaskArrangementFramework restored(fc, &probe_env,
+                                    probe_env.worker_feature_dim(),
+                                    probe_env.task_feature_dim());
+  ASSERT_TRUE(restored.LoadState(path).ok());
+
+  // Build a probe observation from the trained harness's world.
+  Observation obs;
+  obs.time = ds.InitEndTime() + 100;
+  obs.worker = 0;
+  obs.worker_quality = 0.5;
+  obs.worker_features.assign(probe_env.worker_feature_dim(), 0.1f);
+  std::vector<std::vector<float>> feats;
+  feats.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    feats.push_back(std::vector<float>(probe_env.task_feature_dim(), 0.0f));
+    feats.back()[i % probe_env.task_feature_dim()] = 1.0f;
+  }
+  for (int i = 0; i < 4; ++i) {
+    TaskSnapshot snap;
+    snap.id = i;
+    snap.deadline = obs.time + 10000;
+    snap.features = &feats[i];
+    snap.quality = 0.2;
+    obs.tasks.push_back(snap);
+  }
+  auto q_trained = trained.CombinedScores(obs);
+  auto q_restored = restored.CombinedScores(obs);
+  ASSERT_EQ(q_trained.size(), q_restored.size());
+  for (size_t i = 0; i < q_trained.size(); ++i) {
+    EXPECT_DOUBLE_EQ(q_trained[i], q_restored[i]);
+  }
+  // Arrival statistics restored too.
+  EXPECT_EQ(restored.arrival_model().num_arrivals(),
+            trained.arrival_model().num_arrivals());
+  std::remove(path.c_str());
+}
+
+TEST_F(FrameworkCheckpointTest, LoadRejectsObjectiveMismatch) {
+  Dataset ds = MakeDataset();
+  const std::string path = "/tmp/crowdrl_framework_ckpt_mismatch.bin";
+  ReplayHarness env(&ds, MakeConfig().harness);
+  Experiment exp(&ds, MakeConfig());
+
+  FrameworkConfig worker_only =
+      exp.MakeFrameworkConfig(Objective::kWorkerBenefit);
+  TaskArrangementFramework a(worker_only, &env, env.worker_feature_dim(),
+                             env.task_feature_dim());
+  ASSERT_TRUE(a.SaveState(path).ok());
+
+  FrameworkConfig balanced = exp.MakeFrameworkConfig(Objective::kBalanced);
+  TaskArrangementFramework b(balanced, &env, env.worker_feature_dim(),
+                             env.task_feature_dim());
+  EXPECT_FALSE(b.LoadState(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FrameworkCheckpointTest, LoadRejectsMissingFile) {
+  Dataset ds = MakeDataset();
+  ReplayHarness env(&ds, MakeConfig().harness);
+  Experiment exp(&ds, MakeConfig());
+  FrameworkConfig fc = exp.MakeFrameworkConfig(Objective::kWorkerBenefit);
+  TaskArrangementFramework fw(fc, &env, env.worker_feature_dim(),
+                              env.task_feature_dim());
+  EXPECT_FALSE(fw.LoadState("/nonexistent/ckpt.bin").ok());
+}
+
+}  // namespace
+}  // namespace crowdrl

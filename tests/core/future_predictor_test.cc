@@ -1,0 +1,235 @@
+#include "core/future_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+// Minimal EnvView over synthetic fixtures.
+class FakeEnv : public EnvView {
+ public:
+  FakeEnv(FeatureBuilder* fb, std::vector<double> worker_quality)
+      : fb_(fb), wq_(std::move(worker_quality)) {}
+  const FeatureBuilder& features() const override { return *fb_; }
+  double WorkerQuality(WorkerId w) const override { return wq_[w]; }
+  double TaskQuality(TaskId) const override { return 0.5; }
+  SimTime now() const override { return 0; }
+
+ private:
+  FeatureBuilder* fb_;
+  std::vector<double> wq_;
+};
+
+struct Fixture {
+  FeatureConfig fcfg;
+  FeatureBuilder fb;
+  std::vector<std::vector<float>> task_feats;
+  Observation obs;
+
+  Fixture(int num_tasks, SimTime now, std::vector<SimTime> deadlines)
+      : fcfg([] {
+          FeatureConfig c;
+          c.num_categories = 3;
+          c.num_domains = 2;
+          c.award_buckets = 2;
+          return c;
+        }()),
+        fb(fcfg, /*num_workers=*/4, /*num_tasks=*/16) {
+    obs.time = now;
+    obs.worker = 0;
+    obs.worker_quality = 0.5;
+    obs.worker_features.assign(fb.worker_dim(), 0.1f);
+    task_feats.resize(num_tasks);
+    for (int i = 0; i < num_tasks; ++i) {
+      task_feats[i].assign(fb.task_dim(), 0.0f);
+      task_feats[i][i % fb.task_dim()] = 1.0f;
+      TaskSnapshot snap;
+      snap.id = i;
+      snap.deadline = deadlines[i];
+      snap.features = &task_feats[i];
+      snap.quality = 0.2;
+      obs.tasks.push_back(snap);
+    }
+  }
+};
+
+TEST(ExpirySegmentsTest, NoDeadlinesInsideSupportIsOneSegment) {
+  GapHistogram gaps(0, 60, 1, 0.5);
+  gaps.Add(10);
+  // Both tasks expire far beyond the support.
+  auto segs = FutureStatePredictor::ExpirySegments({5000, 4000}, gaps, 8);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].first, 2u);
+  EXPECT_NEAR(segs[0].second, 1.0, 1e-6);
+}
+
+TEST(ExpirySegmentsTest, DeadlineInsideSupportSplitsMass) {
+  GapHistogram gaps(0, 99, 1, 0.0);
+  for (int g = 0; g < 100; ++g) gaps.Add(g);  // uniform over [0,99]
+  // One task expires at gap 50, one far out.
+  auto segs = FutureStatePredictor::ExpirySegments({500, 50}, gaps, 8);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].first, 2u);  // both alive before 50
+  EXPECT_NEAR(segs[0].second, 0.5, 0.02);
+  EXPECT_EQ(segs[1].first, 1u);  // one alive after
+  EXPECT_NEAR(segs[1].second, 0.5, 0.02);
+}
+
+TEST(ExpirySegmentsTest, AlreadyExpiredTasksNeverAppear) {
+  GapHistogram gaps(1, 100, 1, 0.0);
+  for (int g = 1; g <= 100; ++g) gaps.Add(g);
+  // Deadlines at relative time 0 are dead for every future gap.
+  auto segs = FutureStatePredictor::ExpirySegments({200, 0, 0}, gaps, 8);
+  for (const auto& [n, p] : segs) {
+    EXPECT_EQ(n, 1u);
+    EXPECT_GT(p, 0.0f);
+  }
+}
+
+TEST(ExpirySegmentsTest, MergesDownToCap) {
+  GapHistogram gaps(1, 1000, 1, 0.0);
+  for (int g = 1; g <= 1000; ++g) gaps.Add(g);
+  std::vector<SimTime> deadlines;
+  for (int i = 20; i >= 1; --i) deadlines.push_back(i * 40);  // 20 cuts
+  auto segs = FutureStatePredictor::ExpirySegments(deadlines, gaps, 5);
+  EXPECT_LE(segs.size(), 5u);
+  double mass = 0;
+  for (const auto& [n, p] : segs) mass += p;
+  // Gaps beyond the last deadline (800) leave an empty pool: that 20% of
+  // probability mass contributes no future term, by design.
+  EXPECT_NEAR(mass, 0.8, 0.05);
+  // valid_n decreases over segments.
+  for (size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_LE(segs[i].first, segs[i - 1].first);
+  }
+}
+
+TEST(ExpirySegmentsTest, AllTasksExpiredGivesNoSegments) {
+  GapHistogram gaps(1, 100, 1, 0.0);
+  gaps.Add(50);
+  auto segs = FutureStatePredictor::ExpirySegments({1, 1}, gaps, 4);
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(PredictorTest, SameWorkerSpecUsesUpdatedFeature) {
+  Fixture fx(3, /*now=*/1000, {1000 + 20000, 1000 + 30000, 1000 + 40000});
+  StateConfig scfg;
+  StateTransformer st(scfg, fx.fb.worker_dim(), fx.fb.task_dim());
+  FutureStatePredictor predictor(PredictorConfig{}, &st);
+
+  ArrivalModel arrivals;
+  arrivals.RecordArrival(0, 500);
+  arrivals.RecordArrival(0, 500 + 1440);  // 1-day return habit
+
+  std::vector<float> updated(fx.fb.worker_dim(), 0.7f);
+  auto spec = predictor.PredictSameWorker(fx.obs, updated, 0.5, arrivals);
+  ASSERT_EQ(spec.branches.size(), 1u);
+  const auto& branch = spec.branches[0];
+  // Deadlines beyond one week ⇒ single segment, all three tasks alive.
+  ASSERT_FALSE(branch.segments.empty());
+  EXPECT_EQ(branch.segments[0].first, 3u);
+  // Worker part of every row is the *updated* feature.
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(branch.base(r, 0), 0.7f);
+  }
+  EXPECT_NEAR(spec.TotalMass(), 1.0, 1e-5);
+}
+
+TEST(PredictorTest, SameWorkerSpecSplitsAtDeadlines) {
+  // One task expires 2 days out — within φ's one-week support.
+  Fixture fx(2, /*now=*/0, {2 * kMinutesPerDay, 30 * kMinutesPerDay});
+  StateTransformer st(StateConfig{}, fx.fb.worker_dim(), fx.fb.task_dim());
+  FutureStatePredictor predictor(PredictorConfig{}, &st);
+
+  ArrivalModel arrivals;
+  arrivals.RecordArrival(0, 0);
+  for (int i = 1; i <= 20; ++i) {
+    arrivals.RecordArrival(0, i * 1440);  // daily returns
+  }
+
+  std::vector<float> fw(fx.fb.worker_dim(), 0.3f);
+  auto spec = predictor.PredictSameWorker(fx.obs, fw, 0.5, arrivals);
+  ASSERT_EQ(spec.branches.size(), 1u);
+  ASSERT_EQ(spec.branches[0].segments.size(), 2u);
+  EXPECT_EQ(spec.branches[0].segments[0].first, 2u);
+  EXPECT_EQ(spec.branches[0].segments[1].first, 1u);
+  // Rows are ordered by deadline descending: row 0 = task 1 (later).
+  EXPECT_EQ(spec.branches[0].base.rows(), 2u);
+}
+
+TEST(PredictorTest, NextWorkerExpectationBlendsSeenWorkers) {
+  Fixture fx(2, /*now=*/10000, {10000 + 90000, 10000 + 80000});
+  StateConfig scfg;
+  scfg.include_quality = true;
+  StateTransformer st(scfg, fx.fb.worker_dim(), fx.fb.task_dim());
+  PredictorConfig pcfg;  // expectation mode
+  FutureStatePredictor predictor(pcfg, &st);
+
+  ArrivalModel arrivals;
+  arrivals.RecordArrival(1, 9000);
+  arrivals.RecordArrival(2, 9500);
+  arrivals.RecordArrival(1, 9990);
+  // Give workers distinct features.
+  Task t1;
+  t1.id = 0;
+  t1.category = 0;
+  t1.domain = 0;
+  t1.award = 100;
+  fx.fb.RecordCompletion(1, t1, 9000);
+  Task t2 = t1;
+  t2.id = 1;
+  t2.category = 2;
+  fx.fb.RecordCompletion(2, t2, 9500);
+
+  FakeEnv env(&fx.fb, {0.5, 0.9, 0.1, 0.5});
+  auto spec = predictor.PredictNextWorker(fx.obs, arrivals, env);
+  ASSERT_EQ(spec.branches.size(), 1u);
+  const auto& base = spec.branches[0].base;
+  // The expected worker feature must mix category 0 (worker 1) and
+  // category 2 (worker 2) mass.
+  EXPECT_GT(base(0, 0), 0.0f);
+  EXPECT_GT(base(0, 2), 0.0f);
+  // Quality channel is the blended expected q_w, strictly inside (0.1,0.9).
+  const size_t qcol = fx.fb.worker_dim() + fx.fb.task_dim();
+  EXPECT_GT(base(0, qcol), 0.1f);
+  EXPECT_LT(base(0, qcol), 0.9f);
+}
+
+TEST(PredictorTest, NextWorkerTopKProducesBranches) {
+  Fixture fx(2, /*now=*/10000, {10000 + 90000, 10000 + 80000});
+  StateConfig scfg;
+  scfg.include_quality = true;
+  StateTransformer st(scfg, fx.fb.worker_dim(), fx.fb.task_dim());
+  PredictorConfig pcfg;
+  pcfg.next_worker_top_k = 2;
+  FutureStatePredictor predictor(pcfg, &st);
+
+  ArrivalModel arrivals;
+  // Two rounds so returning workers exist and p_new < 1.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      arrivals.RecordArrival(i, 8000 + round * 500 + i * 100);
+    }
+  }
+  FakeEnv env(&fx.fb, {0.2, 0.5, 0.8, 0.5});
+  auto spec = predictor.PredictNextWorker(fx.obs, arrivals, env);
+  // 2 worker branches + 1 new-worker branch (p_new > 0 early on).
+  EXPECT_GE(spec.branches.size(), 2u);
+  EXPECT_LE(spec.branches.size(), 3u);
+  EXPECT_LE(spec.TotalMass(), 1.0 + 1e-5);
+  EXPECT_GT(spec.TotalMass(), 0.5);
+}
+
+TEST(PredictorTest, EmptyPoolYieldsEmptySpec) {
+  Fixture fx(0, 0, {});
+  StateTransformer st(StateConfig{}, fx.fb.worker_dim(), fx.fb.task_dim());
+  FutureStatePredictor predictor(PredictorConfig{}, &st);
+  ArrivalModel arrivals;
+  arrivals.RecordArrival(0, 0);
+  std::vector<float> fw(fx.fb.worker_dim(), 0.0f);
+  auto spec = predictor.PredictSameWorker(fx.obs, fw, 0.5, arrivals);
+  EXPECT_TRUE(spec.empty());
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,144 @@
+#include "core/state.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+// A tiny observation with owned feature storage.
+struct ObsFixture {
+  std::vector<std::vector<float>> task_features;
+  Observation obs;
+
+  explicit ObsFixture(int num_tasks, size_t task_dim = 4,
+                      size_t worker_dim = 4) {
+    obs.time = 1000;
+    obs.worker = 0;
+    obs.worker_quality = 0.6;
+    obs.worker_features.assign(worker_dim, 0.25f);
+    task_features.resize(num_tasks);
+    for (int i = 0; i < num_tasks; ++i) {
+      task_features[i].assign(task_dim, 0.0f);
+      task_features[i][i % task_dim] = 1.0f;
+    }
+    for (int i = 0; i < num_tasks; ++i) {
+      TaskSnapshot snap;
+      snap.id = i;
+      snap.deadline = 2000 + 100 * i;
+      snap.features = &task_features[i];
+      snap.quality = 0.1 * i;
+      obs.tasks.push_back(snap);
+    }
+  }
+};
+
+TEST(StateTransformerTest, InputDimCountsQualityChannels) {
+  StateConfig plain;
+  plain.include_interaction = false;
+  StateTransformer st_w(plain, 4, 4);
+  EXPECT_EQ(st_w.input_dim(), 8u);
+  StateConfig with_quality = plain;
+  with_quality.include_quality = true;
+  StateTransformer st_r(with_quality, 4, 4);
+  EXPECT_EQ(st_r.input_dim(), 10u);
+  // Default: the f_w ∘ f_t interaction block is appended.
+  StateTransformer st_i(StateConfig{}, 4, 4);
+  EXPECT_EQ(st_i.input_dim(), 12u);
+}
+
+TEST(StateTransformerTest, InteractionBlockIsElementwiseProduct) {
+  ObsFixture fx(2);
+  StateTransformer st(StateConfig{}, 4, 4);
+  BuiltState s = st.Build(fx.obs);
+  ASSERT_EQ(s.matrix.cols(), 12u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(s.matrix(r, 8 + c),
+                      s.matrix(r, c) * s.matrix(r, 4 + c));
+    }
+  }
+}
+
+TEST(StateTransformerTest, RowsConcatenateWorkerAndTaskFeatures) {
+  ObsFixture fx(3);
+  StateTransformer st(StateConfig{}, 4, 4);
+  BuiltState s = st.Build(fx.obs);
+  ASSERT_EQ(s.matrix.rows(), 3u);
+  ASSERT_EQ(s.valid_n, 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(s.matrix(r, c), 0.25f) << "worker part";
+      EXPECT_EQ(s.matrix(r, 4 + c), fx.task_features[r][c]) << "task part";
+    }
+  }
+  EXPECT_EQ(s.row_to_task, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(StateTransformerTest, QualityChannelsAppended) {
+  ObsFixture fx(2);
+  StateConfig cfg;
+  cfg.include_quality = true;
+  cfg.include_interaction = false;
+  StateTransformer st(cfg, 4, 4);
+  BuiltState s = st.Build(fx.obs);
+  ASSERT_EQ(s.matrix.cols(), 10u);
+  EXPECT_FLOAT_EQ(s.matrix(0, 8), 0.6f);   // q_w
+  EXPECT_FLOAT_EQ(s.matrix(1, 9), 0.1f);   // q_t of task 1
+}
+
+TEST(StateTransformerTest, MaxTasksKeepsLatestDeadlines) {
+  ObsFixture fx(6);
+  StateConfig cfg;
+  cfg.max_tasks = 3;
+  StateTransformer st(cfg, 4, 4);
+  BuiltState s = st.Build(fx.obs);
+  EXPECT_EQ(s.valid_n, 3u);
+  // Deadlines grow with index, so tasks 3,4,5 survive.
+  EXPECT_EQ(s.row_to_task, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(StateTransformerTest, PadToMaxProducesFixedRows) {
+  ObsFixture fx(2);
+  StateConfig cfg;
+  cfg.max_tasks = 5;
+  cfg.pad_to_max = true;
+  StateTransformer st(cfg, 4, 4);
+  BuiltState s = st.Build(fx.obs);
+  EXPECT_EQ(s.matrix.rows(), 5u);
+  EXPECT_EQ(s.valid_n, 2u);
+  for (size_t r = 2; r < 5; ++r) {
+    for (size_t c = 0; c < s.matrix.cols(); ++c) {
+      EXPECT_EQ(s.matrix(r, c), 0.0f);
+    }
+  }
+}
+
+TEST(StateTransformerTest, BuildWithWorkerSubstitutesFeatureAndQuality) {
+  ObsFixture fx(3);
+  StateConfig cfg;
+  cfg.include_quality = true;
+  cfg.include_interaction = false;
+  StateTransformer st(cfg, 4, 4);
+  std::vector<float> other_worker(4, 0.9f);
+  std::vector<double> quality_override = {0.7, 0.8, 0.9};
+  BuiltState s = st.BuildWithWorker(other_worker, 0.33, fx.obs, {2, 0},
+                                    &quality_override);
+  ASSERT_EQ(s.valid_n, 2u);
+  EXPECT_EQ(s.matrix(0, 0), 0.9f);
+  EXPECT_EQ(s.row_to_task, (std::vector<int>{2, 0}));
+  EXPECT_FLOAT_EQ(s.matrix(0, 8), 0.33f);
+  EXPECT_FLOAT_EQ(s.matrix(0, 9), 0.9f);  // override of task 2
+  EXPECT_FLOAT_EQ(s.matrix(1, 9), 0.7f);  // override of task 0
+}
+
+TEST(StateTransformerTest, EmptyObservationGivesEmptyState) {
+  Observation obs;
+  obs.worker_features.assign(4, 0.0f);
+  StateTransformer st(StateConfig{}, 4, 4);
+  BuiltState s = st.Build(obs);
+  EXPECT_EQ(s.valid_n, 0u);
+  EXPECT_EQ(s.matrix.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace crowdrl

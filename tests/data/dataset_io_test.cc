@@ -1,0 +1,100 @@
+// Binary dataset persistence: generated traces must round-trip exactly so
+// experiments can be shared and replayed bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.h"
+
+namespace crowdrl {
+namespace {
+
+Dataset SmallDataset() {
+  SyntheticConfig cfg;
+  cfg.scale = 0.05;
+  cfg.eval_months = 2;
+  cfg.seed = 101;
+  return SyntheticGenerator(cfg).Generate();
+}
+
+TEST(DatasetIoTest, RoundTripIsExact) {
+  Dataset original = SmallDataset();
+  const std::string path = "/tmp/crowdrl_dataset_io_test.bin";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+
+  auto loaded = Dataset::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& ds = loaded.value();
+
+  EXPECT_EQ(ds.num_categories, original.num_categories);
+  EXPECT_EQ(ds.num_domains, original.num_domains);
+  EXPECT_EQ(ds.total_months, original.total_months);
+  EXPECT_EQ(ds.init_months, original.init_months);
+
+  ASSERT_EQ(ds.tasks.size(), original.tasks.size());
+  for (size_t i = 0; i < ds.tasks.size(); ++i) {
+    EXPECT_EQ(ds.tasks[i].id, original.tasks[i].id);
+    EXPECT_EQ(ds.tasks[i].category, original.tasks[i].category);
+    EXPECT_EQ(ds.tasks[i].domain, original.tasks[i].domain);
+    EXPECT_EQ(ds.tasks[i].award, original.tasks[i].award);
+    EXPECT_EQ(ds.tasks[i].start, original.tasks[i].start);
+    EXPECT_EQ(ds.tasks[i].deadline, original.tasks[i].deadline);
+  }
+  ASSERT_EQ(ds.workers.size(), original.workers.size());
+  for (size_t i = 0; i < ds.workers.size(); ++i) {
+    EXPECT_EQ(ds.workers[i].quality, original.workers[i].quality);
+    EXPECT_EQ(ds.workers[i].pref_category, original.workers[i].pref_category);
+    EXPECT_EQ(ds.workers[i].pref_domain, original.workers[i].pref_domain);
+    EXPECT_EQ(ds.workers[i].award_sensitivity,
+              original.workers[i].award_sensitivity);
+  }
+  ASSERT_EQ(ds.events.size(), original.events.size());
+  for (size_t i = 0; i < ds.events.size(); ++i) {
+    EXPECT_EQ(ds.events[i].time, original.events[i].time);
+    EXPECT_EQ(ds.events[i].type, original.events[i].type);
+    EXPECT_EQ(ds.events[i].task, original.events[i].task);
+    EXPECT_EQ(ds.events[i].worker, original.events[i].worker);
+  }
+  EXPECT_TRUE(ds.Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRejectsMissingFile) {
+  auto result = Dataset::LoadFromFile("/nonexistent/trace.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, LoadRejectsWrongMagic) {
+  const std::string path = "/tmp/crowdrl_dataset_badmagic.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a dataset file at all";
+  }
+  auto result = Dataset::LoadFromFile(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRejectsTruncation) {
+  Dataset original = SmallDataset();
+  const std::string path = "/tmp/crowdrl_dataset_trunc.bin";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  // Truncate the file to half its size.
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = in.tellg();
+    in.seekg(0);
+    std::vector<char> half(static_cast<size_t>(size) / 2);
+    in.read(half.data(), half.size());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(half.data(), half.size());
+  }
+  auto result = Dataset::LoadFromFile(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,137 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+#include "data/synthetic.h"
+
+namespace crowdrl {
+namespace {
+
+Dataset TinyDataset() {
+  SyntheticConfig cfg;
+  cfg.scale = 0.05;
+  cfg.eval_months = 3;
+  return SyntheticGenerator(cfg).Generate();
+}
+
+TEST(DatasetTest, ValidateAcceptsGeneratedData) {
+  Dataset ds = TinyDataset();
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesOutOfOrderEvents) {
+  Dataset ds = TinyDataset();
+  std::swap(ds.events.front().time, ds.events.back().time);
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesDanglingReferences) {
+  Dataset ds = TinyDataset();
+  for (auto& e : ds.events) {
+    if (e.type == EventType::kWorkerArrival) {
+      e.worker = static_cast<WorkerId>(ds.workers.size()) + 5;
+      break;
+    }
+  }
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, InitEndTimeCoversInitMonths) {
+  Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.InitEndTime(), kMinutesPerMonth);
+  ds.init_months = 2;
+  EXPECT_EQ(ds.InitEndTime(), 2 * kMinutesPerMonth);
+}
+
+TEST(DatasetTest, LowerBoundEventFindsFirstAtOrAfter) {
+  Dataset ds = TinyDataset();
+  const size_t idx = ds.LowerBoundEvent(kMinutesPerMonth);
+  ASSERT_LT(idx, ds.events.size());
+  EXPECT_GE(ds.events[idx].time, kMinutesPerMonth);
+  if (idx > 0) {
+    EXPECT_LT(ds.events[idx - 1].time, kMinutesPerMonth);
+  }
+}
+
+TEST(ResampleArrivalsTest, RateScalesArrivalCount) {
+  Dataset base = TinyDataset();
+  const int64_t base_arrivals = base.CountEvents(EventType::kWorkerArrival);
+
+  Dataset half = ResampleArrivals(base, 0.5, 99);
+  Dataset twice = ResampleArrivals(base, 2.0, 99);
+  EXPECT_EQ(half.CountEvents(EventType::kWorkerArrival), base_arrivals / 2);
+  EXPECT_EQ(twice.CountEvents(EventType::kWorkerArrival), base_arrivals * 2);
+  // Task events untouched.
+  EXPECT_EQ(half.CountEvents(EventType::kTaskCreated),
+            base.CountEvents(EventType::kTaskCreated));
+  EXPECT_TRUE(half.Validate().ok());
+  EXPECT_TRUE(twice.Validate().ok());
+}
+
+TEST(ResampleArrivalsTest, DuplicatedArrivalsGetDistinctTimes) {
+  Dataset base = TinyDataset();
+  Dataset resampled = ResampleArrivals(base, 2.0, 7);
+  // With 2× oversampling many arrivals are duplicated; the jitter keeps
+  // exact-time duplicates for the same worker rare.
+  int64_t same_time_same_worker = 0;
+  const Event* prev = nullptr;
+  for (const auto& e : resampled.events) {
+    if (e.type != EventType::kWorkerArrival) continue;
+    if (prev && prev->time == e.time && prev->worker == e.worker) {
+      ++same_time_same_worker;
+    }
+    prev = &e;
+  }
+  const int64_t arrivals = resampled.CountEvents(EventType::kWorkerArrival);
+  EXPECT_LT(same_time_same_worker, arrivals / 20);
+}
+
+TEST(PerturbWorkerQualitiesTest, ShiftsQualitiesWithinBounds) {
+  Dataset base = TinyDataset();
+  Dataset up = PerturbWorkerQualities(base, 0.2, 0.2, 3);
+  Dataset down = PerturbWorkerQualities(base, -0.4, 0.2, 3);
+  double mean_base = 0, mean_up = 0, mean_down = 0;
+  for (size_t i = 0; i < base.workers.size(); ++i) {
+    mean_base += base.workers[i].quality;
+    mean_up += up.workers[i].quality;
+    mean_down += down.workers[i].quality;
+    EXPECT_GE(up.workers[i].quality, 0.02);
+    EXPECT_LE(up.workers[i].quality, 1.0);
+    EXPECT_GE(down.workers[i].quality, 0.02);
+  }
+  EXPECT_GT(mean_up, mean_base);
+  EXPECT_LT(mean_down, mean_base);
+}
+
+TEST(TraceStatsTest, MonthlyCountsAddUp) {
+  Dataset ds = TinyDataset();
+  auto monthly = TraceStats::Monthly(ds);
+  ASSERT_EQ(static_cast<int>(monthly.size()), ds.total_months);
+  int64_t arrivals = 0, creates = 0;
+  for (const auto& m : monthly) {
+    arrivals += m.worker_arrivals;
+    creates += m.new_tasks;
+    EXPECT_GE(m.avg_available_tasks, 0.0);
+  }
+  EXPECT_EQ(arrivals, ds.CountEvents(EventType::kWorkerArrival));
+  EXPECT_EQ(creates, ds.CountEvents(EventType::kTaskCreated));
+}
+
+TEST(TraceStatsTest, ActiveWorkersCountsDistinctArrivers) {
+  Dataset ds = TinyDataset();
+  const int64_t active = TraceStats::ActiveWorkers(ds);
+  EXPECT_GT(active, 0);
+  EXPECT_LE(active, static_cast<int64_t>(ds.workers.size()));
+}
+
+TEST(TraceStatsTest, GapHistogramBinsSpanRequestedRange) {
+  Dataset ds = TinyDataset();
+  auto bins = TraceStats::SameWorkerGaps(ds, 30, 180);
+  ASSERT_EQ(bins.size(), 6u);
+  EXPECT_EQ(bins.front().lo, 0);
+  EXPECT_EQ(bins.back().hi, 180);
+}
+
+}  // namespace
+}  // namespace crowdrl

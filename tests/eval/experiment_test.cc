@@ -1,0 +1,95 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace crowdrl {
+namespace {
+
+const Dataset& TinyDataset() {
+  static const Dataset* ds = [] {
+    SyntheticConfig cfg;
+    cfg.scale = 0.06;
+    cfg.eval_months = 2;
+    cfg.seed = 51;
+    return new Dataset(SyntheticGenerator(cfg).Generate());
+  }();
+  return *ds;
+}
+
+ExperimentConfig TinyExperiment() {
+  ExperimentConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.num_heads = 2;
+  cfg.batch_size = 8;
+  cfg.learn_every = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ExperimentTest, MethodListsMatchThePaper) {
+  const auto& worker_methods = Experiment::WorkerBenefitMethods();
+  EXPECT_EQ(worker_methods.size(), 6u);  // Fig. 7 compares six methods
+  const auto& requester_methods = Experiment::RequesterBenefitMethods();
+  EXPECT_EQ(requester_methods.size(), 5u);  // Fig. 8 drops Taskrec
+  for (const auto& m : requester_methods) {
+    EXPECT_NE(m, "taskrec") << "Taskrec only considers the worker benefit";
+  }
+}
+
+TEST(ExperimentTest, EveryNamedMethodRuns) {
+  Experiment exp(&TinyDataset(), TinyExperiment());
+  for (const auto& method : Experiment::WorkerBenefitMethods()) {
+    SCOPED_TRACE(method);
+    MethodResult r = exp.RunMethod(method, Objective::kWorkerBenefit);
+    EXPECT_FALSE(r.method.empty());
+    EXPECT_GT(r.run.arrivals_evaluated, 0);
+  }
+}
+
+TEST(ExperimentTest, ResultsAreReproducibleAcrossExperimentObjects) {
+  MethodResult a =
+      Experiment(&TinyDataset(), TinyExperiment())
+          .RunMethod("greedy_cs", Objective::kWorkerBenefit);
+  MethodResult b =
+      Experiment(&TinyDataset(), TinyExperiment())
+          .RunMethod("greedy_cs", Objective::kWorkerBenefit);
+  EXPECT_DOUBLE_EQ(a.run.final_metrics.cr, b.run.final_metrics.cr);
+  EXPECT_DOUBLE_EQ(a.run.final_metrics.ndcg_cr, b.run.final_metrics.ndcg_cr);
+}
+
+TEST(ExperimentTest, FrameworkConfigInheritsSizingKnobs) {
+  ExperimentConfig cfg = TinyExperiment();
+  cfg.gamma_worker = 0.11;
+  cfg.gamma_requester = 0.22;
+  cfg.worker_weight = 0.4;
+  Experiment exp(&TinyDataset(), cfg);
+  FrameworkConfig fc = exp.MakeFrameworkConfig(Objective::kBalanced);
+  EXPECT_EQ(fc.worker_dqn.net.hidden_dim, 16u);
+  EXPECT_EQ(fc.worker_dqn.batch_size, 8u);
+  EXPECT_DOUBLE_EQ(fc.worker_dqn.gamma, 0.11);
+  EXPECT_DOUBLE_EQ(fc.requester_dqn.gamma, 0.22);
+  EXPECT_DOUBLE_EQ(fc.worker_weight, 0.4);
+  EXPECT_EQ(fc.objective, Objective::kBalanced);
+}
+
+TEST(ExperimentTest, PaperScaleRestoresPublishedHyperParameters) {
+  ExperimentConfig cfg = TinyExperiment();
+  cfg.UsePaperScale();
+  EXPECT_EQ(cfg.hidden_dim, 128u);  // "dimension of output features ... 128"
+  EXPECT_EQ(cfg.batch_size, 64u);   // "the batch size is 64"
+  EXPECT_EQ(cfg.learn_every, 1);    // update per feedback
+  EXPECT_EQ(cfg.replay_capacity, 1000u);   // "buffer size ... is 1000"
+  EXPECT_EQ(cfg.target_sync_every, 100);   // "copy ... after each 100"
+}
+
+TEST(ExperimentTest, RunFrameworkHonoursCustomLabel) {
+  Experiment exp(&TinyDataset(), TinyExperiment());
+  FrameworkConfig fc = exp.MakeFrameworkConfig(Objective::kWorkerBenefit);
+  MethodResult r = exp.RunFramework(fc, "my-label");
+  EXPECT_EQ(r.method, "my-label");
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,135 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/oracle.h"
+#include "baselines/random_policy.h"
+#include "data/synthetic.h"
+
+namespace crowdrl {
+namespace {
+
+Dataset TestDataset() {
+  SyntheticConfig cfg;
+  cfg.scale = 0.08;
+  cfg.eval_months = 3;
+  cfg.seed = 21;
+  return SyntheticGenerator(cfg).Generate();
+}
+
+HarnessConfig TestHarnessConfig() {
+  HarnessConfig cfg;
+  cfg.top_k = 5;
+  return cfg;
+}
+
+TEST(HarnessTest, RandomPolicyProducesSaneMetrics) {
+  Dataset ds = TestDataset();
+  ReplayHarness harness(&ds, TestHarnessConfig());
+  RandomPolicy policy(3);
+  RunResult result = harness.Run(&policy);
+
+  EXPECT_GT(result.arrivals_evaluated, 100);
+  EXPECT_GT(result.completions, 0);
+  // Random CR should be loosely near the calibrated ~0.15 acceptance.
+  EXPECT_GT(result.final_metrics.cr, 0.03);
+  EXPECT_LT(result.final_metrics.cr, 0.40);
+  // Full-list nDCG dominates top-k which dominates top-1 acceptance rate.
+  EXPECT_GE(result.final_metrics.ndcg_cr, result.final_metrics.kcr - 1e-9);
+  EXPECT_GE(result.final_metrics.kcr, result.final_metrics.cr * 0.99 - 1e-9);
+  EXPECT_GT(result.final_metrics.qg, 0.0);
+  EXPECT_EQ(static_cast<int>(result.monthly.size()), ds.total_months - 1);
+}
+
+TEST(HarnessTest, DeterministicAcrossRuns) {
+  Dataset ds = TestDataset();
+  RunResult a, b;
+  {
+    ReplayHarness harness(&ds, TestHarnessConfig());
+    RandomPolicy policy(3);
+    a = harness.Run(&policy);
+  }
+  {
+    ReplayHarness harness(&ds, TestHarnessConfig());
+    RandomPolicy policy(3);
+    b = harness.Run(&policy);
+  }
+  EXPECT_EQ(a.arrivals_evaluated, b.arrivals_evaluated);
+  EXPECT_DOUBLE_EQ(a.final_metrics.cr, b.final_metrics.cr);
+  EXPECT_DOUBLE_EQ(a.final_metrics.qg, b.final_metrics.qg);
+  EXPECT_EQ(a.completions, b.completions);
+}
+
+TEST(HarnessTest, OracleBeatsRandomOnEveryMetric) {
+  Dataset ds = TestDataset();
+  RunResult random_result, oracle_result;
+  {
+    ReplayHarness harness(&ds, TestHarnessConfig());
+    RandomPolicy policy(3);
+    random_result = harness.Run(&policy);
+  }
+  {
+    ReplayHarness harness(&ds, TestHarnessConfig());
+    OraclePolicy policy(Objective::kWorkerBenefit, &harness.platform(),
+                        &harness.behavior(), 2.0);
+    oracle_result = harness.Run(&policy);
+  }
+  EXPECT_GT(oracle_result.final_metrics.cr,
+            random_result.final_metrics.cr * 1.5);
+  EXPECT_GT(oracle_result.final_metrics.kcr, random_result.final_metrics.kcr);
+  EXPECT_GT(oracle_result.final_metrics.ndcg_cr,
+            random_result.final_metrics.ndcg_cr);
+}
+
+TEST(HarnessTest, AssignModeOnlyCompletesTopRanked) {
+  Dataset ds = TestDataset();
+  HarnessConfig cfg = TestHarnessConfig();
+  cfg.mode = ActionMode::kAssignOne;
+  ReplayHarness harness(&ds, cfg);
+  RandomPolicy policy(3);
+  RunResult result = harness.Run(&policy);
+  // In assign mode realized completions = CR hits exactly.
+  const auto expected = static_cast<int64_t>(
+      std::llround(result.final_metrics.cr *
+                   static_cast<double>(result.arrivals_evaluated)));
+  // completions also include warm-up month completions; they must be at
+  // least the evaluated CR hits.
+  EXPECT_GE(result.completions, expected);
+}
+
+TEST(HarnessTest, EnvViewReflectsPlatformState) {
+  Dataset ds = TestDataset();
+  ReplayHarness harness(&ds, TestHarnessConfig());
+  // Before running, every task has zero quality and workers their q_w.
+  EXPECT_EQ(harness.TaskQuality(0), 0.0);
+  EXPECT_EQ(harness.WorkerQuality(0), ds.workers[0].quality);
+  RandomPolicy policy(3);
+  harness.Run(&policy);
+  // After running, completed tasks accumulated quality.
+  double total_quality = 0;
+  for (const auto& t : ds.tasks) {
+    total_quality += harness.TaskQuality(t.id);
+  }
+  EXPECT_GT(total_quality, 0.0);
+}
+
+TEST(HarnessTest, UpdateTimingIsMeasured) {
+  Dataset ds = TestDataset();
+  ReplayHarness harness(&ds, TestHarnessConfig());
+  RandomPolicy policy(3);
+  RunResult result = harness.Run(&policy);
+  EXPECT_GE(result.mean_feedback_update_s, 0.0);
+  EXPECT_GE(result.mean_rank_s, 0.0);
+  EXPECT_LT(result.mean_rank_s, 0.1);  // random ranking is trivially fast
+}
+
+TEST(HarnessDeathTest, RunIsOneShot) {
+  Dataset ds = TestDataset();
+  ReplayHarness harness(&ds, TestHarnessConfig());
+  RandomPolicy policy(3);
+  harness.Run(&policy);
+  EXPECT_DEATH(harness.Run(&policy), "one-shot");
+}
+
+}  // namespace
+}  // namespace crowdrl

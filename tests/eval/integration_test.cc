@@ -1,0 +1,119 @@
+// End-to-end integration: the full DRL framework (and each baseline) runs
+// over a synthetic trace, learns online, and lands where the paper's
+// ordering says it should — above Random, below the clairvoyant Oracle.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace crowdrl {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static const Dataset& SharedDataset() {
+    static const Dataset* ds = [] {
+      SyntheticConfig cfg;
+      cfg.scale = 0.12;
+      cfg.eval_months = 4;
+      cfg.seed = 33;
+      return new Dataset(SyntheticGenerator(cfg).Generate());
+    }();
+    return *ds;
+  }
+
+  static ExperimentConfig SmallExperiment() {
+    ExperimentConfig cfg;
+    cfg.hidden_dim = 32;
+    cfg.num_heads = 2;
+    cfg.batch_size = 16;
+    cfg.learn_every = 4;
+    cfg.max_failed_stored = 2;
+    cfg.max_segments = 4;
+    cfg.seed = 11;
+    return cfg;
+  }
+};
+
+TEST_F(IntegrationTest, AllWorkerBenefitMethodsRunAndStayInBounds) {
+  Experiment exp(&SharedDataset(), SmallExperiment());
+  double random_cr = -1, oracle_cr = -1;
+  const std::vector<std::string> methods = {
+      "random", "taskrec", "greedy_cs", "greedy_nn", "linucb", "oracle"};
+  for (const std::string& method : methods) {
+    auto result = exp.RunMethod(method, Objective::kWorkerBenefit);
+    SCOPED_TRACE(method);
+    EXPECT_GT(result.run.arrivals_evaluated, 100);
+    EXPECT_GE(result.run.final_metrics.cr, 0.0);
+    EXPECT_LE(result.run.final_metrics.cr, 1.0);
+    EXPECT_GE(result.run.final_metrics.ndcg_cr,
+              result.run.final_metrics.cr - 1e-9);
+    if (method == "random") random_cr = result.run.final_metrics.cr;
+    if (method == "oracle") oracle_cr = result.run.final_metrics.cr;
+  }
+  EXPECT_GT(oracle_cr, random_cr * 1.5)
+      << "oracle must clearly dominate random";
+}
+
+TEST_F(IntegrationTest, DdqnLearnsToBeatRandomOnWorkerBenefit) {
+  Experiment exp(&SharedDataset(), SmallExperiment());
+  auto random_result = exp.RunMethod("random", Objective::kWorkerBenefit);
+  auto ddqn_result = exp.RunMethod("ddqn", Objective::kWorkerBenefit);
+
+  EXPECT_GT(ddqn_result.run.final_metrics.cr,
+            random_result.run.final_metrics.cr * 1.3)
+      << "DDQN CR " << ddqn_result.run.final_metrics.cr << " vs random "
+      << random_result.run.final_metrics.cr;
+  EXPECT_GT(ddqn_result.run.final_metrics.ndcg_cr,
+            random_result.run.final_metrics.ndcg_cr);
+}
+
+TEST_F(IntegrationTest, DdqnLearnsToBeatRandomOnRequesterBenefit) {
+  Experiment exp(&SharedDataset(), SmallExperiment());
+  auto random_result = exp.RunMethod("random", Objective::kRequesterBenefit);
+  auto ddqn_result = exp.RunMethod("ddqn", Objective::kRequesterBenefit);
+
+  EXPECT_GT(ddqn_result.run.final_metrics.qg,
+            random_result.run.final_metrics.qg * 1.1)
+      << "DDQN QG " << ddqn_result.run.final_metrics.qg << " vs random "
+      << random_result.run.final_metrics.qg;
+}
+
+TEST_F(IntegrationTest, BalancedFrameworkInterpolatesBetweenObjectives) {
+  Experiment exp(&SharedDataset(), SmallExperiment());
+  auto worker_only = exp.RunMethod("ddqn", Objective::kWorkerBenefit);
+  auto requester_only = exp.RunMethod("ddqn", Objective::kRequesterBenefit);
+
+  FrameworkConfig balanced = exp.MakeFrameworkConfig(Objective::kBalanced);
+  balanced.worker_weight = 0.5;
+  auto mid = exp.RunFramework(balanced, "ddqn-w0.5");
+
+  // The balanced run must not catastrophically lose to both endpoints on
+  // both metrics simultaneously (Fig. 9's whole point).
+  const bool cr_reasonable =
+      mid.run.final_metrics.cr >=
+      std::min(worker_only.run.final_metrics.cr,
+               requester_only.run.final_metrics.cr) *
+          0.8;
+  const bool qg_reasonable =
+      mid.run.final_metrics.qg >=
+      std::min(worker_only.run.final_metrics.qg,
+               requester_only.run.final_metrics.qg) *
+          0.8;
+  EXPECT_TRUE(cr_reasonable && qg_reasonable)
+      << "balanced run collapsed: CR=" << mid.run.final_metrics.cr
+      << " QG=" << mid.run.final_metrics.qg;
+}
+
+TEST_F(IntegrationTest, RlUpdatesAreFasterThanSupervisedRetrains) {
+  // Table I's qualitative claim at test scale: per-feedback RL updates are
+  // orders of magnitude cheaper than daily batch retrains.
+  Experiment exp(&SharedDataset(), SmallExperiment());
+  auto greedy_nn = exp.RunMethod("greedy_nn", Objective::kWorkerBenefit);
+  auto linucb = exp.RunMethod("linucb", Objective::kWorkerBenefit);
+  EXPECT_GT(greedy_nn.run.mean_dayend_update_s,
+            linucb.run.mean_feedback_update_s);
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,103 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdrl {
+namespace {
+
+TEST(MetricsTest, PositionDiscountMatchesPaperFormula) {
+  // 1/log(1+r) with 1-based rank r, log base 2: rank 1 → 1.0.
+  EXPECT_DOUBLE_EQ(MetricsTracker::PositionDiscount(0), 1.0);
+  EXPECT_NEAR(MetricsTracker::PositionDiscount(1), 1.0 / std::log2(3.0),
+              1e-12);
+  EXPECT_GT(MetricsTracker::PositionDiscount(2),
+            MetricsTracker::PositionDiscount(3));
+}
+
+TEST(MetricsTest, CrCountsTopOneAcceptances) {
+  MetricsTracker m(5);
+  m.RecordArrival(true, 0.5, 0, 0.5, 0, 0.5);
+  m.RecordArrival(false, 0, -1, 0, -1, 0);
+  m.RecordArrival(false, 0, -1, 0, -1, 0);
+  m.RecordArrival(true, 0.3, 0, 0.3, 0, 0.3);
+  auto v = m.Current();
+  EXPECT_DOUBLE_EQ(v.cr, 0.5);
+  EXPECT_DOUBLE_EQ(v.qg, 0.8);
+}
+
+TEST(MetricsTest, KcrUsesDiscountedPositions) {
+  MetricsTracker m(5);
+  // Completion at position 1 (0-based) within the top-5.
+  m.RecordArrival(false, 0, 1, 1.0, 1, 1.0);
+  m.RecordArrival(false, 0, -1, 0, 7, 1.0);  // beyond k → kCR misses it
+  auto v = m.Current();
+  EXPECT_NEAR(v.kcr, 0.5 * (1.0 / std::log2(3.0)), 1e-12);
+  EXPECT_NEAR(v.ndcg_cr,
+              0.5 * (1.0 / std::log2(3.0) + 1.0 / std::log2(9.0)), 1e-12);
+}
+
+TEST(MetricsTest, QualityGainsAreAbsoluteNotAveraged) {
+  MetricsTracker m(3);
+  m.RecordArrival(true, 2.0, 0, 2.0, 0, 2.0);
+  m.RecordArrival(true, 3.0, 0, 3.0, 0, 3.0);
+  auto v = m.Current();
+  EXPECT_DOUBLE_EQ(v.qg, 5.0);        // sum, not ratio
+  EXPECT_DOUBLE_EQ(v.kqg, 5.0);       // both at position 0 → discount 1
+  EXPECT_DOUBLE_EQ(v.ndcg_qg, 5.0);
+  EXPECT_DOUBLE_EQ(v.cr, 1.0);        // ratio
+}
+
+TEST(MetricsTest, MonthlySnapshotsSeparateMonthGains) {
+  MetricsTracker m(5);
+  m.RecordArrival(true, 1.0, 0, 1.0, 0, 1.0);
+  m.EndMonth(1);
+  m.RecordArrival(true, 2.0, 0, 2.0, 0, 2.0);
+  m.RecordArrival(false, 0, -1, 0, -1, 0);
+  m.EndMonth(2);
+  ASSERT_EQ(m.monthly().size(), 2u);
+  EXPECT_EQ(m.monthly()[0].month, 1);
+  EXPECT_DOUBLE_EQ(m.monthly()[0].month_qg, 1.0);
+  EXPECT_EQ(m.monthly()[0].month_arrivals, 1);
+  EXPECT_DOUBLE_EQ(m.monthly()[1].month_qg, 2.0);
+  EXPECT_EQ(m.monthly()[1].month_arrivals, 2);
+  // Cumulative values keep growing.
+  EXPECT_DOUBLE_EQ(m.monthly()[1].cumulative.qg, 3.0);
+  EXPECT_NEAR(m.monthly()[1].cumulative.cr, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyTrackerIsAllZero) {
+  MetricsTracker m(5);
+  auto v = m.Current();
+  EXPECT_EQ(v.cr, 0.0);
+  EXPECT_EQ(v.qg, 0.0);
+  EXPECT_EQ(m.arrivals(), 0);
+}
+
+TEST(MetricsTest, EmptyMonthSnapshotsAreZero) {
+  MetricsTracker m(5);
+  m.RecordArrival(true, 1.0, 0, 1.0, 0, 1.0);
+  m.EndMonth(1);
+  m.EndMonth(2);  // a month with no arrivals at all
+  ASSERT_EQ(m.monthly().size(), 2u);
+  EXPECT_EQ(m.monthly()[1].month_arrivals, 0);
+  EXPECT_EQ(m.monthly()[1].month_qg, 0.0);
+  // Cumulative values persist through the empty month.
+  EXPECT_DOUBLE_EQ(m.monthly()[1].cumulative.qg, 1.0);
+}
+
+TEST(MetricsTest, OrderingInvariant_BetterRankingScoresHigher) {
+  // The same completion at a better position must never score lower.
+  for (int pos = 0; pos < 4; ++pos) {
+    MetricsTracker better(5), worse(5);
+    better.RecordArrival(pos == 0, 1.0, pos, 1.0, pos, 1.0);
+    worse.RecordArrival(false, 0, pos + 1 < 5 ? pos + 1 : -1, 1.0, pos + 1,
+                        1.0);
+    EXPECT_GE(better.Current().ndcg_cr, worse.Current().ndcg_cr);
+    EXPECT_GE(better.Current().kcr, worse.Current().kcr);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl

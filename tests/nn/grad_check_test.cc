@@ -1,0 +1,68 @@
+// The gradient checker is itself public API (used to validate user-written
+// layers); verify it accepts correct gradients and flags wrong ones.
+#include "nn/grad_check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(GradCheckTest, AcceptsCorrectQuadraticGradient) {
+  Matrix x = Matrix::FromRows({{0.5f, -1.0f, 2.0f}});
+  auto loss = [&]() {
+    double acc = 0;
+    for (size_t c = 0; c < 3; ++c) {
+      acc += static_cast<double>(x(0, c)) * x(0, c);
+    }
+    return acc;
+  };
+  Matrix analytic = x * 2.0f;  // d(Σx²)/dx = 2x
+  auto result = CheckGradient(&x, analytic, loss);
+  EXPECT_LT(result.max_rel_err, 1e-2f);
+  EXPECT_EQ(result.checked, 3u);
+}
+
+TEST(GradCheckTest, FlagsWrongGradient) {
+  Matrix x = Matrix::FromRows({{1.0f, 2.0f}});
+  auto loss = [&]() {
+    return static_cast<double>(x(0, 0)) * x(0, 0) +
+           static_cast<double>(x(0, 1)) * x(0, 1);
+  };
+  Matrix wrong = x * -2.0f;  // sign-flipped gradient
+  auto result = CheckGradient(&x, wrong, loss);
+  EXPECT_GT(result.max_rel_err, 0.5f);
+}
+
+TEST(GradCheckTest, RestoresParameterValues) {
+  Matrix x = Matrix::FromRows({{3.0f, 4.0f}});
+  Matrix saved = x;
+  auto loss = [&]() { return static_cast<double>(x(0, 0)) + x(0, 1); };
+  Matrix analytic = Matrix::Constant(1, 2, 1.0f);
+  CheckGradient(&x, analytic, loss);
+  EXPECT_TRUE(Matrix::AllClose(x, saved, 0.0f));
+}
+
+TEST(GradCheckTest, StridesLargeParameters) {
+  Rng rng(5);
+  Matrix big = Matrix::Uniform(20, 20, &rng);
+  auto loss = [&]() { return big.Sum(); };
+  Matrix analytic = Matrix::Constant(20, 20, 1.0f);
+  auto result = CheckGradient(&big, analytic, loss, 1e-3f, /*max_entries=*/10);
+  EXPECT_LE(result.checked, 80u);  // strided, not exhaustive
+  EXPECT_LT(result.max_rel_err, 5e-2f);
+}
+
+TEST(LoggingTest, RespectsMinLevel) {
+  const LogLevel old_level = LogMessage::min_level();
+  LogMessage::SetMinLevel(LogLevel::kError);
+  EXPECT_EQ(LogMessage::min_level(), LogLevel::kError);
+  // These compile to no-ops below the threshold (and must not crash).
+  CROWDRL_LOG(kDebug) << "suppressed";
+  CROWDRL_LOG(kInfo) << "suppressed";
+  LogMessage::SetMinLevel(old_level);
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,96 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/optimizer.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(MlpTest, ShapesFollowDims) {
+  Rng rng(1);
+  Mlp net({6, 8, 4, 1}, &rng);
+  EXPECT_EQ(net.input_dim(), 6u);
+  EXPECT_EQ(net.output_dim(), 1u);
+  Matrix x = Matrix::Uniform(3, 6, &rng);
+  Matrix y = net.Forward(x);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 1u);
+}
+
+TEST(MlpTest, PredictMatchesForward) {
+  Rng rng(2);
+  Mlp net({4, 8, 1}, &rng);
+  std::vector<float> row = {0.1f, -0.2f, 0.3f, 0.4f};
+  Matrix x(1, 4);
+  x.SetRow(0, row);
+  EXPECT_FLOAT_EQ(net.Predict(row), net.Forward(x)(0, 0));
+}
+
+TEST(MlpTest, GradientsMatchNumeric) {
+  Rng rng(3);
+  Mlp net({4, 6, 1}, &rng);
+  Matrix x = Matrix::Uniform(5, 4, &rng);
+
+  auto loss = [&]() { return net.Forward(x).SquaredNorm(); };
+
+  Mlp::Cache cache;
+  Matrix y = net.Forward(x, &cache);
+  auto grads = net.MakeGradients();
+  Matrix dx = net.Backward(y * 2.0f, cache, &grads);
+
+  auto params = net.Params();
+  ASSERT_EQ(params.size(), grads.size());
+  for (size_t p = 0; p < params.size(); ++p) {
+    auto res = CheckGradient(params[p], grads[p], loss);
+    EXPECT_LT(res.max_rel_err, 5e-2f) << "param " << p;
+  }
+  EXPECT_LT(CheckGradient(&x, dx, loss).max_rel_err, 5e-2f);
+}
+
+TEST(MlpTest, LearnsXorLikeFunction) {
+  // Nonlinear target ⇒ needs the hidden layers to drop the loss.
+  Rng rng(4);
+  Mlp net({2, 16, 16, 1}, &rng);
+  OptimizerConfig opt;
+  opt.learning_rate = 5e-3;
+  Adam adam(net.Params(), opt);
+  auto grads = net.MakeGradients();
+
+  Matrix x = Matrix::FromRows({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  const float targets[] = {0, 1, 1, 0};
+  double final_loss = 1e9;
+  for (int step = 0; step < 1500; ++step) {
+    Mlp::Cache cache;
+    Matrix y = net.Forward(x, &cache);
+    Matrix dy(4, 1);
+    double loss = 0;
+    for (int i = 0; i < 4; ++i) {
+      const double d = y(i, 0) - targets[i];
+      loss += d * d;
+      dy(i, 0) = static_cast<float>(2 * d);
+    }
+    final_loss = loss;
+    for (auto& g : grads) g.SetZero();
+    net.Backward(dy, cache, &grads);
+    adam.Step(grads, 0.25);
+  }
+  EXPECT_LT(final_loss, 0.05) << "XOR not learned";
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  Rng rng(5);
+  Mlp net({3, 8, 1}, &rng);
+  std::vector<float> probe = {0.3f, 0.6f, -0.9f};
+  const double before = net.Predict(probe);
+
+  std::stringstream ss;
+  ASSERT_TRUE(net.Save(&ss).ok());
+  Mlp restored;
+  ASSERT_TRUE(restored.Load(&ss).ok());
+  EXPECT_DOUBLE_EQ(restored.Predict(probe), before);
+}
+
+}  // namespace
+}  // namespace crowdrl

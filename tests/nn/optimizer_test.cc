@@ -1,0 +1,98 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdrl {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(x) = Σ (x_i − c_i)²; Adam should converge to c.
+  Matrix x(1, 4);
+  const float c[] = {1.0f, -2.0f, 0.5f, 3.0f};
+  OptimizerConfig cfg;
+  cfg.learning_rate = 0.05;
+  cfg.clip_norm = 0;  // no clipping for the pure convergence test
+  Adam adam({&x}, cfg);
+
+  for (int step = 0; step < 800; ++step) {
+    std::vector<Matrix> grads(1, Matrix(1, 4));
+    for (int i = 0; i < 4; ++i) grads[0](0, i) = 2.0f * (x(0, i) - c[i]);
+    adam.Step(grads);
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(x(0, i), c[i], 1e-2f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Matrix x(1, 1);
+  Adam adam({&x}, OptimizerConfig{});
+  EXPECT_EQ(adam.step_count(), 0);
+  std::vector<Matrix> grads(1, Matrix(1, 1));
+  adam.Step(grads);
+  adam.Step(grads);
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(AdamTest, ClippingBoundsTheUpdate) {
+  Matrix a(1, 1), b(1, 1);
+  OptimizerConfig cfg;
+  cfg.learning_rate = 0.1;
+  cfg.clip_norm = 1.0;
+  Adam adam({&a}, cfg);
+  OptimizerConfig unclipped = cfg;
+  unclipped.clip_norm = 0;
+  Adam adam_unclipped({&b}, unclipped);
+
+  std::vector<Matrix> huge(1, Matrix(1, 1));
+  huge[0](0, 0) = 1e6f;
+  adam.Step(huge);
+  adam_unclipped.Step(huge);
+  // Both take a step in the same direction; the clipped second-moment is
+  // far smaller, so its effective state remains sane.
+  EXPECT_LT(std::fabs(a(0, 0)), 0.2f);
+  EXPECT_LT(a(0, 0), 0.0f);
+  EXPECT_LT(b(0, 0), 0.0f);
+}
+
+TEST(AdamTest, GradScaleEquivalentToScaledGradients) {
+  Matrix a = Matrix::FromRows({{1.0f}});
+  Matrix b = Matrix::FromRows({{1.0f}});
+  OptimizerConfig cfg;
+  cfg.clip_norm = 0;
+  Adam adam_a({&a}, cfg);
+  Adam adam_b({&b}, cfg);
+
+  std::vector<Matrix> g(1, Matrix(1, 1));
+  g[0](0, 0) = 4.0f;
+  adam_a.Step(g, 0.5);
+  std::vector<Matrix> g_half(1, Matrix(1, 1));
+  g_half[0](0, 0) = 2.0f;
+  adam_b.Step(g_half, 1.0);
+  EXPECT_FLOAT_EQ(a(0, 0), b(0, 0));
+}
+
+TEST(SgdTest, TakesPlainGradientSteps) {
+  Matrix x = Matrix::FromRows({{10.0f}});
+  Sgd sgd({&x}, 0.1);
+  std::vector<Matrix> g(1, Matrix(1, 1));
+  g[0](0, 0) = 2.0f;
+  sgd.Step(g);
+  EXPECT_FLOAT_EQ(x(0, 0), 9.8f);
+  sgd.Step(g, 0.5);
+  EXPECT_FLOAT_EQ(x(0, 0), 9.7f);
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Matrix x = Matrix::FromRows({{5.0f}});
+  Sgd sgd({&x}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Matrix> g(1, Matrix(1, 1));
+    g[0](0, 0) = 2.0f * x(0, 0);
+    sgd.Step(g);
+  }
+  EXPECT_NEAR(x(0, 0), 0.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,124 @@
+#include "rl/arrival_model.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(GapHistogramTest, ProbNormalizesOverSupport) {
+  GapHistogram h(0, 99, 10, /*laplace=*/0.0);
+  h.Add(5);
+  h.Add(15);
+  h.Add(15);
+  h.Add(95);
+  EXPECT_NEAR(h.Prob(5), 0.25, 1e-9);
+  EXPECT_NEAR(h.Prob(15), 0.5, 1e-9);
+  EXPECT_NEAR(h.Prob(95), 0.25, 1e-9);
+  EXPECT_EQ(h.Prob(200), 0.0);  // out of support
+}
+
+TEST(GapHistogramTest, LaplaceSmoothingAvoidsZeros) {
+  GapHistogram h(0, 99, 10, /*laplace=*/0.5);
+  h.Add(5);
+  EXPECT_GT(h.Prob(95), 0.0);
+  EXPECT_GT(h.Prob(5), h.Prob(95));
+}
+
+TEST(GapHistogramTest, MassBetweenSumsBins) {
+  GapHistogram h(0, 99, 10, 0.0);
+  for (int g = 0; g < 100; g += 10) h.Add(g);  // one sample per bin
+  EXPECT_NEAR(h.MassBetween(0, 99), 1.0, 1e-9);
+  EXPECT_NEAR(h.MassBetween(0, 49), 0.5, 1e-9);
+  EXPECT_NEAR(h.MassBetween(20, 39), 0.2, 1e-9);
+  // Clipping works.
+  EXPECT_NEAR(h.MassBetween(-50, 1000), 1.0, 1e-9);
+  EXPECT_EQ(h.MassBetween(60, 10), 0.0);
+}
+
+TEST(GapHistogramTest, MeanTracksData) {
+  GapHistogram h(0, 999, 10, 0.0);
+  for (int i = 0; i < 100; ++i) h.Add(200);
+  EXPECT_NEAR(h.Mean(), 205.0, 1.0);  // bin midpoint
+}
+
+TEST(GapHistogramTest, TruncationIsCounted) {
+  GapHistogram h(0, 60, 1, 0.0);
+  h.Add(30);
+  h.Add(90);   // beyond support
+  h.Add(120);  // beyond support
+  EXPECT_NEAR(h.truncated_fraction(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(h.Prob(30), 1.0, 1e-9);  // normalized within support
+}
+
+TEST(GapHistogramTest, SampleStaysInSupport) {
+  GapHistogram h(1, 10080, 10, 0.5);
+  h.Add(1440);
+  h.Add(2880);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime g = h.SampleGap(&rng);
+    EXPECT_GE(g, 1);
+    EXPECT_LE(g, 10080);
+  }
+}
+
+TEST(ArrivalModelTest, PhiSupportMatchesPaper) {
+  ArrivalModel model;
+  EXPECT_EQ(model.same_worker_gap().min_gap(), 1);
+  EXPECT_EQ(model.same_worker_gap().max_gap(), kMaxSameWorkerGap);
+  EXPECT_EQ(model.any_gap().min_gap(), 0);
+  EXPECT_EQ(model.any_gap().max_gap(), kMaxAnyWorkerGap);
+}
+
+TEST(ArrivalModelTest, TracksSameWorkerGaps) {
+  ArrivalModel model;
+  model.RecordArrival(7, 100);
+  model.RecordArrival(7, 100 + 1440);  // returns after one day
+  model.RecordArrival(7, 100 + 2 * 1440);
+  const auto& phi = model.same_worker_gap();
+  EXPECT_GT(phi.Prob(1440), phi.Prob(5000));
+  EXPECT_EQ(model.LastArrivalOf(7), 100 + 2 * 1440);
+  EXPECT_EQ(model.LastArrivalOf(99), -1);
+}
+
+TEST(ArrivalModelTest, TracksAnyWorkerGaps) {
+  ArrivalModel model;
+  model.RecordArrival(1, 0);
+  model.RecordArrival(2, 10);
+  model.RecordArrival(3, 20);
+  const auto& varphi = model.any_gap();
+  EXPECT_GT(varphi.Prob(10), 0.0);
+  EXPECT_EQ(varphi.sample_count(), 2.0);
+}
+
+TEST(ArrivalModelTest, NewWorkerRateDecaysTowardObservedRate) {
+  ArrivalModelConfig cfg;
+  cfg.new_rate_window = 50;
+  ArrivalModel model(cfg);
+  // First 10 arrivals: all new workers.
+  for (int i = 0; i < 10; ++i) model.RecordArrival(i, i * 10);
+  EXPECT_GT(model.new_worker_rate(), 0.9);
+  // Then 200 arrivals all from worker 0.
+  for (int i = 0; i < 200; ++i) model.RecordArrival(0, 1000 + i * 10);
+  EXPECT_LT(model.new_worker_rate(), 0.1);
+}
+
+TEST(ArrivalModelTest, SeenWorkersPreservesInsertionOrder) {
+  ArrivalModel model;
+  model.RecordArrival(5, 0);
+  model.RecordArrival(3, 1);
+  model.RecordArrival(5, 2);
+  ASSERT_EQ(model.seen_workers().size(), 2u);
+  EXPECT_EQ(model.seen_workers()[0], 5);
+  EXPECT_EQ(model.seen_workers()[1], 3);
+  EXPECT_EQ(model.num_arrivals(), 3);
+}
+
+TEST(ArrivalModelDeathTest, RejectsOutOfOrderArrivals) {
+  ArrivalModel model;
+  model.RecordArrival(1, 100);
+  EXPECT_DEATH(model.RecordArrival(2, 50), "time order");
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,115 @@
+#include "rl/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace crowdrl {
+namespace {
+
+ExplorerConfig FastAnneal() {
+  ExplorerConfig cfg;
+  cfg.anneal_steps = 100;
+  return cfg;
+}
+
+TEST(ExplorerTest, GreedyRankSortsDescending) {
+  auto rank = Explorer::GreedyRank({0.1, 0.9, 0.5});
+  ASSERT_EQ(rank.size(), 3u);
+  EXPECT_EQ(rank[0], 1);
+  EXPECT_EQ(rank[1], 2);
+  EXPECT_EQ(rank[2], 0);
+}
+
+TEST(ExplorerTest, GreedyRankIsStableOnTies) {
+  auto rank = Explorer::GreedyRank({0.5, 0.5, 0.5});
+  EXPECT_EQ(rank, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ExplorerTest, AssignMostlyFollowsQ) {
+  Explorer explorer(FastAnneal(), 1);
+  std::vector<double> q = {0.0, 1.0, 0.2};
+  int argmax_hits = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    argmax_hits += explorer.SelectAssign(q) == 1;
+  }
+  // Follow probability starts at 0.9 and anneals to 0.98; random picks can
+  // also land on index 1 (1/3 of the exploring mass).
+  EXPECT_GT(static_cast<double>(argmax_hits) / n, 0.9);
+  EXPECT_LT(static_cast<double>(argmax_hits) / n, 1.0);
+}
+
+TEST(ExplorerTest, AssignFollowProbAnneals) {
+  ExplorerConfig cfg = FastAnneal();
+  Explorer explorer(cfg, 2);
+  EXPECT_NEAR(explorer.current_follow_prob(), cfg.assign_follow_start, 1e-9);
+  for (int i = 0; i < 100; ++i) explorer.Step();
+  EXPECT_NEAR(explorer.current_follow_prob(), cfg.assign_follow_end, 1e-9);
+  for (int i = 0; i < 100; ++i) explorer.Step();  // clamps at the end value
+  EXPECT_NEAR(explorer.current_follow_prob(), cfg.assign_follow_end, 1e-9);
+}
+
+TEST(ExplorerTest, NoiseScaleDecaysToConfiguredFloor) {
+  ExplorerConfig cfg = FastAnneal();
+  Explorer explorer(cfg, 3);
+  EXPECT_NEAR(explorer.current_noise_scale(), cfg.noise_scale_start, 1e-9);
+  for (int i = 0; i < 100; ++i) explorer.Step();
+  EXPECT_NEAR(explorer.current_noise_scale(), cfg.noise_scale_end, 1e-9);
+}
+
+TEST(ExplorerTest, RankListReturnsPermutation) {
+  Explorer explorer(FastAnneal(), 4);
+  std::vector<double> q = {0.3, -0.5, 0.8, 0.1, 0.0};
+  for (int i = 0; i < 50; ++i) {
+    auto rank = explorer.RankList(q);
+    auto sorted = rank;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(ExplorerTest, RankListNoiseActuallyPerturbs) {
+  ExplorerConfig cfg = FastAnneal();
+  cfg.list_noise_prob = 1.0;  // always perturb
+  Explorer explorer(cfg, 5);
+  std::vector<double> q = {0.0, 0.1, 0.2, 0.3, 0.4};
+  const auto greedy = Explorer::GreedyRank(q);
+  int differs = 0;
+  for (int i = 0; i < 200; ++i) {
+    differs += explorer.RankList(q) != greedy;
+  }
+  EXPECT_GT(differs, 50);  // with σ = std(q), reorderings are common
+}
+
+TEST(ExplorerTest, NoiseShrinksWithDecay) {
+  // After annealing, σ = 0.1·std(q): top item should win almost always
+  // given a wide Q gap.
+  ExplorerConfig cfg = FastAnneal();
+  cfg.list_noise_prob = 1.0;
+  Explorer explorer(cfg, 6);
+  for (int i = 0; i < 200; ++i) explorer.Step();  // fully annealed
+  std::vector<double> q = {0.0, 10.0};
+  int top_first = 0;
+  for (int i = 0; i < 500; ++i) {
+    top_first += explorer.RankList(q)[0] == 1;
+  }
+  EXPECT_GT(top_first, 490);
+}
+
+TEST(ExplorerTest, ZeroVarianceQsRankGreedily) {
+  ExplorerConfig cfg = FastAnneal();
+  cfg.list_noise_prob = 1.0;
+  Explorer explorer(cfg, 7);
+  std::vector<double> q = {0.5, 0.5, 0.5};
+  EXPECT_EQ(explorer.RankList(q), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ExplorerTest, SingleTaskAlwaysSelected) {
+  Explorer explorer(FastAnneal(), 8);
+  EXPECT_EQ(explorer.SelectAssign({0.7}), 0);
+  EXPECT_EQ(explorer.RankList({0.7}), (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,96 @@
+// Property sweeps over the expiry-segmentation used by the future-state
+// predictors: mass conservation, pool monotonicity and cap compliance must
+// hold for arbitrary deadline layouts and segment caps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/future_predictor.h"
+#include "eval/metrics.h"
+
+namespace crowdrl {
+namespace {
+
+struct SegParams {
+  int num_tasks;
+  SimTime deadline_spread;  // deadlines uniform in [0, spread]
+  size_t max_segments;
+  uint64_t seed;
+};
+
+class SegmentsPropertyTest : public ::testing::TestWithParam<SegParams> {};
+
+TEST_P(SegmentsPropertyTest, InvariantsHold) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  GapHistogram gaps(1, kMaxSameWorkerGap, 10);
+  // A plausible φ: short revisits + daily modes.
+  for (int i = 0; i < 500; ++i) {
+    gaps.Add(rng.UniformInt(1, 120));
+    gaps.Add(rng.UniformInt(1, 3) * kMinutesPerDay +
+             rng.UniformInt(-60, 60));
+  }
+
+  std::vector<SimTime> deadlines;
+  for (int i = 0; i < p.num_tasks; ++i) {
+    deadlines.push_back(rng.UniformInt(0, p.deadline_spread));
+  }
+  std::sort(deadlines.rbegin(), deadlines.rend());
+
+  auto segments = FutureStatePredictor::ExpirySegments(deadlines, gaps,
+                                                       p.max_segments);
+
+  // 1. Cap respected.
+  EXPECT_LE(segments.size(), p.max_segments);
+  double mass = 0;
+  size_t prev_n = deadlines.size() + 1;
+  for (const auto& [valid_n, prob] : segments) {
+    // 2. Only live pools with positive mass are emitted.
+    EXPECT_GT(valid_n, 0u);
+    EXPECT_LE(valid_n, deadlines.size());
+    EXPECT_GT(prob, 0.0f);
+    // 3. Pools shrink monotonically over time segments.
+    EXPECT_LE(valid_n, prev_n);
+    prev_n = valid_n;
+    mass += prob;
+  }
+  // 4. Mass never exceeds 1 (remainder = empty-pool futures).
+  EXPECT_LE(mass, 1.0 + 1e-5);
+
+  // 5. If every deadline exceeds the support, a single full-pool segment
+  //    carries all the mass.
+  if (!deadlines.empty() && deadlines.back() > kMaxSameWorkerGap) {
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].first, deadlines.size());
+    EXPECT_NEAR(segments[0].second, 1.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, SegmentsPropertyTest,
+    ::testing::Values(SegParams{0, 1, 8, 1},
+                      SegParams{1, 5000, 8, 2},
+                      SegParams{5, 2000, 8, 3},
+                      SegParams{20, 20000, 8, 4},
+                      SegParams{20, 20000, 3, 5},
+                      SegParams{50, 5000, 2, 6},
+                      SegParams{10, 200000, 8, 7},   // all beyond support
+                      SegParams{30, 9000, 1, 8}));   // extreme merge
+
+class MetricsSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsSweepTest, DiscountIsMonotoneDecreasing) {
+  const int pos = GetParam();
+  if (pos > 0) {
+    EXPECT_LT(MetricsTracker::PositionDiscount(pos),
+              MetricsTracker::PositionDiscount(pos - 1));
+  }
+  EXPECT_GT(MetricsTracker::PositionDiscount(pos), 0.0);
+  EXPECT_LE(MetricsTracker::PositionDiscount(pos), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, MetricsSweepTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace crowdrl

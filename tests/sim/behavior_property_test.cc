@@ -1,0 +1,101 @@
+// Property sweeps over the behaviour model: utility bounds, monotonicity
+// in each preference channel, and calibration-band stability across seeds.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/behavior.h"
+
+namespace crowdrl {
+namespace {
+
+class BehaviorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BehaviorPropertyTest, UtilityStaysInUnitInterval) {
+  BehaviorModel model;
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    Worker w;
+    w.id = 0;
+    w.pref_category = {static_cast<float>(rng.Uniform()),
+                       static_cast<float>(rng.Uniform())};
+    w.pref_domain = {static_cast<float>(rng.Uniform())};
+    w.award_sensitivity = rng.Uniform();
+    Task t;
+    t.id = 0;
+    t.category = static_cast<int>(rng.UniformInt(2));
+    t.domain = 0;
+    t.award = rng.Uniform(0, 5000);
+    const double u = model.Utility(w, t);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+    const double p = model.InterestProb(w, t);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST_P(BehaviorPropertyTest, UtilityMonotoneInEachChannel) {
+  BehaviorModel model;
+  Rng rng(GetParam() ^ 0xBEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    Worker w;
+    w.id = 0;
+    const float base_cat = static_cast<float>(rng.Uniform(0.0, 0.8));
+    const float base_dom = static_cast<float>(rng.Uniform(0.0, 0.8));
+    w.pref_category = {base_cat};
+    w.pref_domain = {base_dom};
+    w.award_sensitivity = rng.Uniform(0.1, 1.0);
+    Task t;
+    t.id = 0;
+    t.category = 0;
+    t.domain = 0;
+    t.award = rng.Uniform(50, 1000);
+    const double u0 = model.Utility(w, t);
+
+    Worker w_cat = w;
+    w_cat.pref_category[0] = base_cat + 0.2f;
+    EXPECT_GT(model.Utility(w_cat, t), u0) << "category affinity";
+
+    Worker w_dom = w;
+    w_dom.pref_domain[0] = base_dom + 0.2f;
+    EXPECT_GT(model.Utility(w_dom, t), u0) << "domain affinity";
+
+    Task t_award = t;
+    t_award.award = t.award * 3;
+    EXPECT_GT(model.Utility(w, t_award), u0) << "award";
+  }
+}
+
+TEST_P(BehaviorPropertyTest, SynergyRewardsConjunction) {
+  // A worker matching BOTH category and domain must beat the sum-parts
+  // expectation of two workers each matching one channel — the conjunctive
+  // term at work.
+  BehaviorModel model;
+  Worker both, cat_only, dom_only;
+  for (Worker* w : {&both, &cat_only, &dom_only}) {
+    w->id = 0;
+    w->pref_category = {0.0f};
+    w->pref_domain = {0.0f};
+    w->award_sensitivity = 0.0;
+  }
+  both.pref_category[0] = 1.0f;
+  both.pref_domain[0] = 1.0f;
+  cat_only.pref_category[0] = 1.0f;
+  dom_only.pref_domain[0] = 1.0f;
+  Task t;
+  t.id = 0;
+  t.category = 0;
+  t.domain = 0;
+  t.award = 0;
+  const double u_both = model.Utility(both, t);
+  const double u_sum =
+      model.Utility(cat_only, t) + model.Utility(dom_only, t);
+  EXPECT_GT(u_both, u_sum + 0.05)
+      << "conjunction must exceed the sum of single-channel matches";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BehaviorPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 1234));
+
+}  // namespace
+}  // namespace crowdrl

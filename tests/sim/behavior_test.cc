@@ -1,0 +1,147 @@
+#include "sim/behavior.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+Worker MakeWorker(int id, float cat0_pref, double award_sens = 0.5) {
+  Worker w;
+  w.id = id;
+  w.pref_category = {cat0_pref, 0.1f, 0.1f};
+  w.pref_domain = {0.5f, 0.5f};
+  w.award_sensitivity = award_sens;
+  return w;
+}
+
+Task MakeTask(int id, int category, double award = 300) {
+  Task t;
+  t.id = id;
+  t.category = category;
+  t.domain = 0;
+  t.award = award;
+  return t;
+}
+
+TEST(BehaviorTest, UtilityIncreasesWithPreferenceMatch) {
+  BehaviorModel model;
+  Worker liker = MakeWorker(0, 0.9f);
+  Worker hater = MakeWorker(1, 0.05f);
+  Task t = MakeTask(0, 0);
+  EXPECT_GT(model.Utility(liker, t), model.Utility(hater, t));
+  EXPECT_GT(model.InterestProb(liker, t), model.InterestProb(hater, t));
+}
+
+TEST(BehaviorTest, UtilityIncreasesWithAwardForSensitiveWorkers) {
+  BehaviorModel model;
+  Worker w = MakeWorker(0, 0.5f, /*award_sens=*/1.0);
+  EXPECT_GT(model.Utility(w, MakeTask(0, 0, 1000)),
+            model.Utility(w, MakeTask(1, 0, 50)));
+}
+
+TEST(BehaviorTest, AwardUtilitySaturates) {
+  BehaviorConfig cfg;
+  cfg.award_saturation = 1000;
+  BehaviorModel model(cfg);
+  EXPECT_EQ(model.AwardUtility(0), 0.0);
+  EXPECT_NEAR(model.AwardUtility(1000), 1.0, 1e-9);
+  EXPECT_EQ(model.AwardUtility(100000), 1.0);  // clamped
+  EXPECT_GT(model.AwardUtility(500), model.AwardUtility(100));
+}
+
+TEST(BehaviorTest, PickinessShiftsAcceptance) {
+  BehaviorModel model;
+  Worker easy = MakeWorker(0, 0.7f);
+  Worker picky = MakeWorker(1, 0.7f);
+  picky.pickiness = 0.3;
+  Task t = MakeTask(0, 0);
+  EXPECT_GT(model.InterestProb(easy, t), model.InterestProb(picky, t));
+}
+
+TEST(BehaviorTest, InterestDrawIsDeterministicPerArrival) {
+  BehaviorModel model;
+  Worker w = MakeWorker(3, 0.6f);
+  Task t = MakeTask(7, 0);
+  const bool first = model.IsInterested(w, t, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.IsInterested(w, t, 42), first);
+  }
+  // Different arrivals re-draw.
+  int flips = 0;
+  for (int a = 0; a < 200; ++a) {
+    flips += model.IsInterested(w, t, a) != first;
+  }
+  EXPECT_GT(flips, 0);
+}
+
+TEST(BehaviorTest, DrawFrequencyMatchesInterestProb) {
+  BehaviorModel model;
+  Worker w = MakeWorker(1, 0.8f);
+  Task t = MakeTask(2, 0);
+  const double p = model.InterestProb(w, t);
+  int hits = 0;
+  const int n = 20000;
+  for (int a = 0; a < n; ++a) hits += model.IsInterested(w, t, a);
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+}
+
+TEST(BehaviorTest, CascadeReturnsFirstInterestingPosition) {
+  BehaviorModel model;
+  Worker w = MakeWorker(5, 0.9f);
+  Task love = MakeTask(0, 0);   // matches preference
+  Task meh1 = MakeTask(1, 1);   // low preference
+  Task meh2 = MakeTask(2, 2);
+  // Find an arrival where the worker accepts `love` but rejects the mehs.
+  for (int64_t a = 0; a < 1000; ++a) {
+    const bool l = model.IsInterested(w, love, a);
+    const bool m1 = model.IsInterested(w, meh1, a);
+    const bool m2 = model.IsInterested(w, meh2, a);
+    if (l && !m1 && !m2) {
+      EXPECT_EQ(model.FirstInterested(w, {&meh1, &meh2, &love}, a), 2);
+      EXPECT_EQ(model.FirstInterested(w, {&love, &meh1, &meh2}, a), 0);
+      return;
+    }
+  }
+  FAIL() << "no suitable arrival found — calibration off";
+}
+
+TEST(BehaviorTest, PatienceLimitsScanDepth) {
+  BehaviorConfig cfg;
+  cfg.patience = 2;
+  BehaviorModel model(cfg);
+  Worker w = MakeWorker(0, 0.95f);
+  w.pickiness = -0.5;  // accepts almost anything
+  Task a = MakeTask(0, 1), b = MakeTask(1, 1), c = MakeTask(2, 0);
+  // Find an arrival where positions 0/1 are rejected but 2 accepted:
+  for (int64_t arr = 0; arr < 2000; ++arr) {
+    if (!model.IsInterested(w, a, arr) && !model.IsInterested(w, b, arr) &&
+        model.IsInterested(w, c, arr)) {
+      // With patience 2 the worker never reaches position 2.
+      EXPECT_EQ(model.FirstInterested(w, {&a, &b, &c}, arr), -1);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no matching arrival found (acceptance too high)";
+}
+
+TEST(BehaviorTest, EmptyListMeansNoCompletion) {
+  BehaviorModel model;
+  Worker w = MakeWorker(0, 0.9f);
+  EXPECT_EQ(model.FirstInterested(w, {}, 0), -1);
+}
+
+TEST(BehaviorTest, DifferentSeedsGiveDifferentDraws) {
+  BehaviorConfig c1, c2;
+  c2.seed = c1.seed + 1;
+  BehaviorModel m1(c1), m2(c2);
+  Worker w = MakeWorker(0, 0.6f);
+  Task t = MakeTask(0, 0);
+  int differing = 0;
+  for (int a = 0; a < 300; ++a) {
+    differing += m1.IsInterested(w, t, a) != m2.IsInterested(w, t, a);
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace crowdrl

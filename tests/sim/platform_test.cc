@@ -1,0 +1,126 @@
+#include "sim/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+std::vector<Task> MakeTasks(int n) {
+  std::vector<Task> tasks(n);
+  for (int i = 0; i < n; ++i) {
+    tasks[i].id = i;
+    tasks[i].start = i * 10;
+    tasks[i].deadline = i * 10 + 100;
+  }
+  return tasks;
+}
+
+std::vector<Worker> MakeWorkers(int n) {
+  std::vector<Worker> workers(n);
+  for (int i = 0; i < n; ++i) {
+    workers[i].id = i;
+    workers[i].pref_category = {0.5f};
+    workers[i].pref_domain = {0.5f};
+  }
+  return workers;
+}
+
+Event Ev(SimTime t, EventType type, int id) {
+  Event e;
+  e.time = t;
+  e.type = type;
+  if (type == EventType::kWorkerArrival) {
+    e.worker = id;
+  } else {
+    e.task = id;
+  }
+  return e;
+}
+
+TEST(PlatformTest, CreateAddsToPool) {
+  Platform p(MakeTasks(3), MakeWorkers(1));
+  EXPECT_TRUE(p.available().empty());
+  ASSERT_TRUE(p.ApplyEvent(Ev(0, EventType::kTaskCreated, 0)).ok());
+  ASSERT_TRUE(p.ApplyEvent(Ev(10, EventType::kTaskCreated, 1)).ok());
+  EXPECT_EQ(p.available().size(), 2u);
+  EXPECT_TRUE(p.IsAvailable(0));
+  EXPECT_TRUE(p.IsAvailable(1));
+  EXPECT_FALSE(p.IsAvailable(2));
+}
+
+TEST(PlatformTest, ExpireRemovesFromPool) {
+  Platform p(MakeTasks(3), MakeWorkers(1));
+  ASSERT_TRUE(p.ApplyEvent(Ev(0, EventType::kTaskCreated, 0)).ok());
+  ASSERT_TRUE(p.ApplyEvent(Ev(1, EventType::kTaskCreated, 1)).ok());
+  ASSERT_TRUE(p.ApplyEvent(Ev(2, EventType::kTaskCreated, 2)).ok());
+  ASSERT_TRUE(p.ApplyEvent(Ev(5, EventType::kTaskExpired, 1)).ok());
+  EXPECT_EQ(p.available().size(), 2u);
+  EXPECT_FALSE(p.IsAvailable(1));
+  EXPECT_TRUE(p.IsAvailable(0));
+  EXPECT_TRUE(p.IsAvailable(2));
+}
+
+TEST(PlatformTest, SwapRemovalKeepsPoolConsistent) {
+  Platform p(MakeTasks(5), MakeWorkers(1));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(p.ApplyEvent(Ev(i, EventType::kTaskCreated, i)).ok());
+  }
+  // Remove middle then first; membership must stay exact.
+  ASSERT_TRUE(p.ApplyEvent(Ev(10, EventType::kTaskExpired, 2)).ok());
+  ASSERT_TRUE(p.ApplyEvent(Ev(11, EventType::kTaskExpired, 0)).ok());
+  EXPECT_EQ(p.available().size(), 3u);
+  std::vector<bool> present(5, false);
+  for (TaskId id : p.available()) present[id] = true;
+  EXPECT_FALSE(present[0]);
+  EXPECT_TRUE(present[1]);
+  EXPECT_FALSE(present[2]);
+  EXPECT_TRUE(present[3]);
+  EXPECT_TRUE(present[4]);
+}
+
+TEST(PlatformTest, ErrorsOnBadEvents) {
+  Platform p(MakeTasks(2), MakeWorkers(1));
+  EXPECT_FALSE(p.ApplyEvent(Ev(0, EventType::kTaskExpired, 0)).ok());
+  ASSERT_TRUE(p.ApplyEvent(Ev(0, EventType::kTaskCreated, 0)).ok());
+  EXPECT_FALSE(p.ApplyEvent(Ev(1, EventType::kTaskCreated, 0)).ok());
+  EXPECT_FALSE(p.ApplyEvent(Ev(2, EventType::kTaskCreated, 99)).ok());
+  EXPECT_FALSE(p.ApplyEvent(Ev(3, EventType::kWorkerArrival, 5)).ok());
+  // Time must be monotone.
+  ASSERT_TRUE(p.ApplyEvent(Ev(10, EventType::kWorkerArrival, 0)).ok());
+  EXPECT_FALSE(p.ApplyEvent(Ev(5, EventType::kWorkerArrival, 0)).ok());
+}
+
+TEST(PlatformTest, ClockAdvancesWithEvents) {
+  Platform p(MakeTasks(1), MakeWorkers(1));
+  EXPECT_EQ(p.now(), 0);
+  ASSERT_TRUE(p.ApplyEvent(Ev(42, EventType::kTaskCreated, 0)).ok());
+  EXPECT_EQ(p.now(), 42);
+}
+
+TEST(PlatformTest, TaskAvailabilityWindow) {
+  Task t;
+  t.start = 100;
+  t.deadline = 200;
+  EXPECT_FALSE(t.AvailableAt(99));
+  EXPECT_TRUE(t.AvailableAt(100));
+  EXPECT_TRUE(t.AvailableAt(199));
+  EXPECT_FALSE(t.AvailableAt(200));
+}
+
+TEST(PlatformDeathTest, RequiresDenseIds) {
+  auto tasks = MakeTasks(2);
+  tasks[1].id = 5;
+  EXPECT_DEATH(Platform(std::move(tasks), MakeWorkers(1)), "dense");
+}
+
+TEST(EventTest, OrderingResolvesLifecycleBeforeArrivals) {
+  Event create = Ev(10, EventType::kTaskCreated, 0);
+  Event expire = Ev(10, EventType::kTaskExpired, 1);
+  Event arrive = Ev(10, EventType::kWorkerArrival, 0);
+  EXPECT_TRUE(create < expire);
+  EXPECT_TRUE(expire < arrive);
+  EXPECT_TRUE(Ev(9, EventType::kWorkerArrival, 0) < create);
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,103 @@
+#include "sim/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdrl {
+namespace {
+
+TEST(QualityModelTest, FreshTaskHasZeroQuality) {
+  QualityModel q(2.0);
+  Task t;
+  EXPECT_EQ(q.TaskQuality(t), 0.0);
+}
+
+TEST(QualityModelTest, PEqualsOneIsAdditive) {
+  // AMT micro-task regime: quality = Σ q_w.
+  QualityModel q(1.0);
+  Task t;
+  q.ApplyCompletion(&t, 0.4);
+  q.ApplyCompletion(&t, 0.3);
+  EXPECT_NEAR(q.TaskQuality(t), 0.7, 1e-12);
+}
+
+TEST(QualityModelTest, LargePApproachesMax) {
+  // Competition regime: quality → max worker quality as p → ∞.
+  QualityModel q(50.0);
+  Task t;
+  q.ApplyCompletion(&t, 0.5);
+  q.ApplyCompletion(&t, 0.9);
+  q.ApplyCompletion(&t, 0.3);
+  EXPECT_NEAR(q.TaskQuality(t), 0.9, 0.02);
+}
+
+TEST(QualityModelTest, PaperP2Value) {
+  // p = 2 ⇒ q_t = √(Σ q_w²).
+  QualityModel q(2.0);
+  Task t;
+  q.ApplyCompletion(&t, 0.6);
+  q.ApplyCompletion(&t, 0.8);
+  EXPECT_NEAR(q.TaskQuality(t), 1.0, 1e-9);
+}
+
+TEST(QualityModelTest, DiminishingMarginalUtility) {
+  // Each identical completion adds less quality than the previous one
+  // (the law of diminishing marginal utility the paper cites).
+  QualityModel q(2.0);
+  Task t;
+  double prev_quality = 0, prev_gain = 1e9;
+  for (int i = 0; i < 6; ++i) {
+    const double gain = q.ApplyCompletion(&t, 0.5);
+    EXPECT_GT(gain, 0.0);
+    EXPECT_LT(gain, prev_gain);
+    EXPECT_GT(q.TaskQuality(t), prev_quality);
+    prev_gain = gain;
+    prev_quality = q.TaskQuality(t);
+  }
+}
+
+TEST(QualityModelTest, GainMatchesApplyCompletion) {
+  QualityModel q(2.0);
+  Task t;
+  q.ApplyCompletion(&t, 0.7);
+  const double predicted = q.Gain(t, 0.4);
+  const double realized = q.ApplyCompletion(&t, 0.4);
+  EXPECT_NEAR(predicted, realized, 1e-12);
+}
+
+TEST(QualityModelTest, QualityAfterDoesNotMutate) {
+  QualityModel q(2.0);
+  Task t;
+  q.ApplyCompletion(&t, 0.5);
+  const double before = q.TaskQuality(t);
+  const double hypothetical = q.QualityAfter(t, 0.9);
+  EXPECT_GT(hypothetical, before);
+  EXPECT_EQ(q.TaskQuality(t), before);
+  EXPECT_EQ(t.completions, 1);
+}
+
+TEST(QualityModelTest, GainFromValuesMatchesModel) {
+  QualityModel q(2.0);
+  Task t;
+  q.ApplyCompletion(&t, 0.6);
+  const double qt = q.TaskQuality(t);
+  EXPECT_NEAR(QualityModel::GainFromValues(qt, 0.8, 2.0), q.Gain(t, 0.8),
+              1e-9);
+  // Fresh task: gain is the worker quality itself.
+  EXPECT_NEAR(QualityModel::GainFromValues(0.0, 0.7, 2.0), 0.7, 1e-12);
+}
+
+TEST(QualityModelTest, HigherWorkerQualityLargerGain) {
+  QualityModel q(2.0);
+  Task t;
+  q.ApplyCompletion(&t, 0.5);
+  EXPECT_GT(q.Gain(t, 0.9), q.Gain(t, 0.2));
+}
+
+TEST(QualityModelDeathTest, RejectsPBelowOne) {
+  EXPECT_DEATH(QualityModel q(0.5), "p >= 1");
+}
+
+}  // namespace
+}  // namespace crowdrl

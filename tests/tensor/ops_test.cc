@@ -1,0 +1,159 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdrl {
+namespace {
+
+TEST(OpsTest, MatmulSmallKnownValues) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = Matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(OpsTest, MatmulIdentityIsNoop) {
+  Rng rng(11);
+  Matrix a = Matrix::Uniform(5, 5, &rng);
+  EXPECT_TRUE(Matrix::AllClose(Matmul(a, Matrix::Eye(5)), a, 1e-6f));
+  EXPECT_TRUE(Matrix::AllClose(Matmul(Matrix::Eye(5), a), a, 1e-6f));
+}
+
+TEST(OpsTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(5);
+  Matrix a = Matrix::Uniform(4, 7, &rng);
+  Matrix b = Matrix::Uniform(6, 7, &rng);  // for A·Bᵀ
+  Matrix c = Matrix::Uniform(4, 6, &rng);  // for Aᵀ·C
+
+  EXPECT_TRUE(Matrix::AllClose(MatmulTransposeB(a, b),
+                               Matmul(a, b.Transpose()), 1e-4f));
+  EXPECT_TRUE(Matrix::AllClose(MatmulTransposeA(a, c),
+                               Matmul(a.Transpose(), c), 1e-4f));
+}
+
+TEST(OpsTest, MatmulAssociatesWithinTolerance) {
+  Rng rng(9);
+  Matrix a = Matrix::Uniform(3, 4, &rng);
+  Matrix b = Matrix::Uniform(4, 5, &rng);
+  Matrix c = Matrix::Uniform(5, 2, &rng);
+  EXPECT_TRUE(Matrix::AllClose(Matmul(Matmul(a, b), c),
+                               Matmul(a, Matmul(b, c)), 1e-4f));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {-5, 0, 5}});
+  SoftmaxRowsInPlace(&m);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      sum += m(r, c);
+      EXPECT_GE(m(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  // Softmax is monotone in the logits.
+  EXPECT_LT(m(0, 0), m(0, 1));
+  EXPECT_LT(m(0, 1), m(0, 2));
+}
+
+TEST(OpsTest, SoftmaxHandlesLargeLogitsStably) {
+  Matrix m = Matrix::FromRows({{1000, 1001, 999}});
+  SoftmaxRowsInPlace(&m);
+  EXPECT_FALSE(m.HasNonFinite());
+  EXPECT_GT(m(0, 1), m(0, 0));
+}
+
+TEST(OpsTest, SoftmaxColumnMaskZeroesMaskedEntries) {
+  Matrix m = Matrix::FromRows({{5, 1, 3}, {2, 2, 2}});
+  std::vector<uint8_t> mask = {1, 0, 1};
+  SoftmaxRowsInPlace(&m, &mask);
+  EXPECT_EQ(m(0, 1), 0.0f);
+  EXPECT_EQ(m(1, 1), 0.0f);
+  EXPECT_NEAR(m(0, 0) + m(0, 2), 1.0, 1e-5);
+  EXPECT_NEAR(m(1, 0), 0.5, 1e-5);
+}
+
+TEST(OpsTest, SoftmaxValidRowsZeroesPaddingRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  SoftmaxRowsInPlace(&m, nullptr, 2);
+  EXPECT_EQ(m(2, 0), 0.0f);
+  EXPECT_EQ(m(2, 1), 0.0f);
+  EXPECT_NEAR(m(0, 0) + m(0, 1), 1.0, 1e-5);
+}
+
+TEST(OpsTest, SoftmaxFullyMaskedRowIsZeroNotNaN) {
+  Matrix m = Matrix::FromRows({{1, 2}});
+  std::vector<uint8_t> mask = {0, 0};
+  SoftmaxRowsInPlace(&m, &mask);
+  EXPECT_FALSE(m.HasNonFinite());
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 0.0f);
+}
+
+TEST(OpsTest, SoftmaxBackwardMatchesNumericGradient) {
+  // For a single row s, loss = Σ w_i·p_i with p = softmax(s).
+  Rng rng(13);
+  Matrix logits = Matrix::Uniform(1, 5, &rng, -1.0f, 1.0f);
+  Matrix weights = Matrix::Uniform(1, 5, &rng, -1.0f, 1.0f);
+
+  auto loss_at = [&](const Matrix& s) {
+    Matrix p = s;
+    SoftmaxRowsInPlace(&p);
+    double acc = 0;
+    for (size_t c = 0; c < 5; ++c) acc += weights(0, c) * p(0, c);
+    return acc;
+  };
+
+  Matrix probs = logits;
+  SoftmaxRowsInPlace(&probs);
+  Matrix analytic = SoftmaxRowsBackward(probs, weights);
+
+  const float eps = 1e-3f;
+  for (size_t c = 0; c < 5; ++c) {
+    Matrix up = logits, down = logits;
+    up(0, c) += eps;
+    down(0, c) -= eps;
+    const double numeric = (loss_at(up) - loss_at(down)) / (2.0 * eps);
+    EXPECT_NEAR(analytic(0, c), numeric, 2e-3)
+        << "mismatch at logit " << c;
+  }
+}
+
+TEST(OpsTest, SoftmaxVectorMatchesMatrixVersion) {
+  std::vector<double> v = {0.5, -1.0, 2.0};
+  auto sm = SoftmaxVector(v);
+  Matrix m = Matrix::FromRows({{0.5f, -1.0f, 2.0f}});
+  SoftmaxRowsInPlace(&m);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(sm[i], m(0, i), 1e-5);
+}
+
+TEST(OpsTest, DotProduct) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 32.0f);
+}
+
+TEST(OpsTest, CosineSimilarityBasics) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {-1, -1}), -1.0, 1e-9);
+  // Zero vectors do not blow up.
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(OpsTest, MatmulSkipsZeroRowsCorrectly) {
+  // The zero-skip fast path must not change results.
+  Matrix a = Matrix::FromRows({{0, 0, 0}, {1, 0, 2}});
+  Matrix b = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Matrix c = Matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 7.0f);
+}
+
+}  // namespace
+}  // namespace crowdrl
