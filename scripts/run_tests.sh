@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full ctest suite.
+# Usage: scripts/run_tests.sh [build-dir] [extra cmake args...]
+# Exits non-zero on any configure/build/test failure.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+# First arg is the build dir unless it looks like a cmake flag.
+BUILD_DIR="${REPO_ROOT}/build"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "$@"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

@@ -2,6 +2,8 @@
 // in each preference channel, and calibration-band stability across seeds.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "sim/behavior.h"
 
@@ -16,9 +18,9 @@ TEST_P(BehaviorPropertyTest, UtilityStaysInUnitInterval) {
   for (int trial = 0; trial < 500; ++trial) {
     Worker w;
     w.id = 0;
-    w.pref_category = {static_cast<float>(rng.Uniform()),
-                       static_cast<float>(rng.Uniform())};
-    w.pref_domain = {static_cast<float>(rng.Uniform())};
+    w.pref_category = std::vector<float>{static_cast<float>(rng.Uniform()),
+                                         static_cast<float>(rng.Uniform())};
+    w.pref_domain = std::vector<float>{static_cast<float>(rng.Uniform())};
     w.award_sensitivity = rng.Uniform();
     Task t;
     t.id = 0;
@@ -42,8 +44,8 @@ TEST_P(BehaviorPropertyTest, UtilityMonotoneInEachChannel) {
     w.id = 0;
     const float base_cat = static_cast<float>(rng.Uniform(0.0, 0.8));
     const float base_dom = static_cast<float>(rng.Uniform(0.0, 0.8));
-    w.pref_category = {base_cat};
-    w.pref_domain = {base_dom};
+    w.pref_category = std::vector<float>{base_cat};
+    w.pref_domain = std::vector<float>{base_dom};
     w.award_sensitivity = rng.Uniform(0.1, 1.0);
     Task t;
     t.id = 0;
@@ -74,8 +76,8 @@ TEST_P(BehaviorPropertyTest, SynergyRewardsConjunction) {
   Worker both, cat_only, dom_only;
   for (Worker* w : {&both, &cat_only, &dom_only}) {
     w->id = 0;
-    w->pref_category = {0.0f};
-    w->pref_domain = {0.0f};
+    w->pref_category.assign(1, 0.0f);
+    w->pref_domain.assign(1, 0.0f);
     w->award_sensitivity = 0.0;
   }
   both.pref_category[0] = 1.0f;

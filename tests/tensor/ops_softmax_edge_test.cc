@@ -1,0 +1,91 @@
+// Edge cases of the masked softmax that the attention layer's padding
+// correctness depends on: fully-masked columns, valid_rows == 0, and
+// degenerate single-row / single-element inputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(SoftmaxEdgeTest, AllMaskedColumnsZeroEveryRow) {
+  Matrix m = Matrix::FromRows({{1, -2, 3}, {0, 0, 0}, {7, 8, 9}});
+  std::vector<uint8_t> mask = {0, 0, 0};
+  SoftmaxRowsInPlace(&m, &mask);
+  EXPECT_FALSE(m.HasNonFinite());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(m(r, c), 0.0f) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SoftmaxEdgeTest, ValidRowsZeroZeroesEntireMatrix) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  SoftmaxRowsInPlace(&m, nullptr, 0);
+  EXPECT_FALSE(m.HasNonFinite());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(m(r, c), 0.0f) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SoftmaxEdgeTest, ValidRowsZeroWithMaskStillZeroes) {
+  Matrix m = Matrix::FromRows({{5, 6, 7}});
+  std::vector<uint8_t> mask = {1, 0, 1};
+  SoftmaxRowsInPlace(&m, &mask, 0);
+  EXPECT_FALSE(m.HasNonFinite());
+  for (size_t c = 0; c < m.cols(); ++c) EXPECT_EQ(m(0, c), 0.0f);
+}
+
+TEST(SoftmaxEdgeTest, SingleRowSumsToOneAndIsMonotone) {
+  Matrix m = Matrix::FromRows({{-1, 0, 2, 5}});
+  SoftmaxRowsInPlace(&m);
+  double sum = 0;
+  for (size_t c = 0; c < m.cols(); ++c) {
+    EXPECT_GT(m(0, c), 0.0f);
+    sum += m(0, c);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  for (size_t c = 1; c < m.cols(); ++c) EXPECT_GT(m(0, c), m(0, c - 1));
+}
+
+TEST(SoftmaxEdgeTest, SingleElementBecomesOne) {
+  Matrix m = Matrix::FromRows({{-123.0f}});
+  SoftmaxRowsInPlace(&m);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+}
+
+TEST(SoftmaxEdgeTest, SingleRowWithOneSurvivingColumnGetsFullMass) {
+  Matrix m = Matrix::FromRows({{100, -100, 0}});
+  std::vector<uint8_t> mask = {0, 0, 1};
+  SoftmaxRowsInPlace(&m, &mask);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m(0, 2), 1.0f);
+}
+
+TEST(SoftmaxEdgeTest, MaskedRowsBeyondValidRowsAreZeroed) {
+  // Padding rows must be zeroed even when a column mask is active, and the
+  // active rows must renormalize over surviving columns only.
+  Matrix m = Matrix::FromRows({{2, 2, 2}, {9, 9, 9}});
+  std::vector<uint8_t> mask = {1, 1, 0};
+  SoftmaxRowsInPlace(&m, &mask, 1);
+  EXPECT_NEAR(m(0, 0), 0.5, 1e-5);
+  EXPECT_NEAR(m(0, 1), 0.5, 1e-5);
+  EXPECT_EQ(m(0, 2), 0.0f);
+  for (size_t c = 0; c < m.cols(); ++c) EXPECT_EQ(m(1, c), 0.0f);
+}
+
+TEST(SoftmaxEdgeTest, ValidRowsLargerThanMatrixIsClamped) {
+  Matrix m = Matrix::FromRows({{0, 0}});
+  SoftmaxRowsInPlace(&m, nullptr, 99);
+  EXPECT_NEAR(m(0, 0), 0.5, 1e-5);
+  EXPECT_NEAR(m(0, 1), 0.5, 1e-5);
+}
+
+}  // namespace
+}  // namespace crowdrl
