@@ -1,6 +1,8 @@
 #ifndef CROWDRL_BENCH_BENCH_UTIL_H_
 #define CROWDRL_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -9,6 +11,7 @@
 #include "common/table.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
+#include "eval/runner.h"
 
 namespace crowdrl {
 namespace bench {
@@ -70,6 +73,45 @@ inline void EmitCsv(const Table& table, const BenchSetup& setup,
   } else {
     std::printf("[csv] %s\n", path.c_str());
   }
+}
+
+/// Writes and announces a JSON artifact (the perf/quality trajectory the
+/// CI uploads per build).
+inline void EmitJson(const std::string& json, const BenchSetup& setup,
+                     const std::string& file) {
+  const std::string path = setup.OutPath(file);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    CROWDRL_LOG(kWarn) << "could not write " << path;
+    return;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::printf("[json] %s\n", path.c_str());
+}
+
+/// Multi-seed sweep setup shared by the figure benches: the classic
+/// BenchSetup flags plus the runner grid (`--seeds`, `--threads`,
+/// `--scenarios`; see RunnerConfigFromFlags). Exits with a usage message
+/// on invalid grid flags.
+inline RunnerConfig ParseRunnerSetup(const CliFlags& flags,
+                                     const BenchSetup& setup) {
+  RunnerConfig base;
+  base.synthetic = setup.MakeSyntheticConfig();
+  base.experiment = setup.MakeExperimentConfig();
+  base.base_seed = setup.seed;
+  base.num_seeds = 5;
+  Result<RunnerConfig> parsed = RunnerConfigFromFlags(flags, std::move(base));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(parsed).value();
+}
+
+/// "mean ± stddev" cell for seed-aggregated tables.
+inline std::string PlusMinus(const SeedStats& s, int decimals) {
+  return Table::Num(s.mean, decimals) + " ± " + Table::Num(s.stddev, decimals);
 }
 
 }  // namespace bench

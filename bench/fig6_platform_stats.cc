@@ -1,56 +1,95 @@
 // Reproduces Fig. 6: per-month platform volume statistics.
 //   (a) new and expired tasks per month (~180 each at paper scale)
 //   (b) worker arrivals (~4,200/mo) and average available tasks (~56.8)
+//
+// Multi-seed: every statistic is aggregated over `--seeds` independently
+// generated traces (mean ± stddev error bars), fanned out in parallel by
+// the ExperimentRunner, and optionally across `--scenarios` variants.
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 #include "data/stats.h"
 
 namespace crowdrl {
 namespace {
 
+void WriteStats(JsonWriter* w, const char* key, const SeedStats& s) {
+  WriteSeedStats(w, key, s, /*include_per_seed=*/false);
+}
+
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/1.0, 12);
+  RunnerConfig cfg = bench::ParseRunnerSetup(flags, setup);
 
-  std::printf("fig6_platform_stats: scale=%.2f months=%d seed=%llu\n",
-              setup.paper ? 1.0 : setup.scale, setup.months,
-              static_cast<unsigned long long>(setup.seed));
-  Dataset ds = SyntheticGenerator(setup.MakeSyntheticConfig()).Generate();
-  CROWDRL_CHECK(ds.Validate().ok());
+  std::printf("fig6_platform_stats: scale=%.2f months=%d seeds=%d seed=%llu\n",
+              cfg.synthetic.scale, cfg.synthetic.eval_months, cfg.num_seeds,
+              static_cast<unsigned long long>(cfg.base_seed));
+  ExperimentRunner runner(cfg);
 
-  auto monthly = TraceStats::Monthly(ds);
-  Table t({"month", "new_tasks", "expired_tasks", "worker_arrivals",
-           "avg_available_tasks"});
-  double total_avail = 0;
-  int64_t total_arrivals = 0, total_new = 0, total_expired = 0;
-  for (const auto& m : monthly) {
-    t.AddRow({MonthLabel(m.month), std::to_string(m.new_tasks),
-              std::to_string(m.expired_tasks),
-              std::to_string(m.worker_arrivals),
-              Table::Num(m.avg_available_tasks, 1)});
-    total_avail += m.avg_available_tasks * m.worker_arrivals;
-    total_arrivals += m.worker_arrivals;
-    total_new += m.new_tasks;
-    total_expired += m.expired_tasks;
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "crowdrl.fig6_platform_stats.v1");
+  json.KV("base_seed", cfg.base_seed);
+  json.KV("num_seeds", cfg.num_seeds);
+  json.KV("scale", cfg.synthetic.scale);
+  json.Key("scenarios").BeginArray();
+
+  for (const Scenario& scenario : cfg.scenarios) {
+    TraceStatsSweep stats = runner.RunTraceStats(scenario);
+
+    Table t({"month", "new_tasks", "expired_tasks", "worker_arrivals",
+             "avg_available_tasks"});
+    for (const auto& m : stats.monthly) {
+      t.AddRow({MonthLabel(m.month), bench::PlusMinus(m.new_tasks, 1),
+                bench::PlusMinus(m.expired_tasks, 1),
+                bench::PlusMinus(m.worker_arrivals, 1),
+                bench::PlusMinus(m.avg_available_tasks, 1)});
+    }
+    t.Print("Fig 6 [" + scenario.name +
+            "]: monthly volume, mean ± stddev over " +
+            std::to_string(cfg.num_seeds) + " seeds");
+    bench::EmitCsv(t, setup, "fig6_platform_stats_" + scenario.name + ".csv");
+
+    Table summary({"statistic", "paper", "measured"});
+    summary.AddRow({"total tasks created", "2285",
+                    bench::PlusMinus(stats.total_new_tasks, 1)});
+    summary.AddRow({"total tasks expired", "2273",
+                    bench::PlusMinus(stats.total_expired_tasks, 1)});
+    summary.AddRow({"active workers", "~1700",
+                    bench::PlusMinus(stats.active_workers, 1)});
+    summary.AddRow({"arrivals per month", "~4200",
+                    bench::PlusMinus(stats.arrivals_per_month, 1)});
+    summary.AddRow({"avg available tasks at arrival", "56.8",
+                    bench::PlusMinus(stats.avg_available_at_arrival, 1)});
+    summary.Print("Fig 6 / Sec VII-A1 summary [" + scenario.name + "]");
+    bench::EmitCsv(summary, setup, "fig6_summary_" + scenario.name + ".csv");
+
+    json.BeginObject();
+    json.KV("name", scenario.name);
+    WriteStats(&json, "total_new_tasks", stats.total_new_tasks);
+    WriteStats(&json, "total_expired_tasks", stats.total_expired_tasks);
+    WriteStats(&json, "active_workers", stats.active_workers);
+    WriteStats(&json, "arrivals_per_month", stats.arrivals_per_month);
+    WriteStats(&json, "avg_available_at_arrival",
+               stats.avg_available_at_arrival);
+    json.Key("monthly").BeginArray();
+    for (const auto& m : stats.monthly) {
+      json.BeginObject();
+      json.KV("month", m.month);
+      WriteStats(&json, "new_tasks", m.new_tasks);
+      WriteStats(&json, "expired_tasks", m.expired_tasks);
+      WriteStats(&json, "worker_arrivals", m.worker_arrivals);
+      WriteStats(&json, "avg_available_tasks", m.avg_available_tasks);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
   }
-  t.Print("Fig 6: monthly new/expired tasks, arrivals, available pool");
-  bench::EmitCsv(t, setup, "fig6_platform_stats.csv");
-
-  Table summary({"statistic", "paper", "measured"});
-  summary.AddRow({"total tasks created", "2285", std::to_string(total_new)});
-  summary.AddRow(
-      {"total tasks expired", "2273", std::to_string(total_expired)});
-  summary.AddRow({"active workers", "~1700",
-                  std::to_string(TraceStats::ActiveWorkers(ds))});
-  summary.AddRow({"arrivals per month", "~4200",
-                  Table::Num(static_cast<double>(total_arrivals) /
-                                 monthly.size(),
-                             0)});
-  summary.AddRow({"avg available tasks at arrival", "56.8",
-                  Table::Num(total_avail / total_arrivals, 1)});
-  summary.Print("Fig 6 / Sec VII-A1 summary");
-  bench::EmitCsv(summary, setup, "fig6_summary.csv");
+  json.EndArray();
+  json.EndObject();
+  bench::EmitJson(json.str(), setup, "fig6_platform_stats.json");
   return 0;
 }
 

@@ -2,9 +2,14 @@
 // Q = w·Q_w + (1−w)·Q_r for w ∈ {0, 0.25, 0.5, 0.75, 1}.
 // The paper's reading: QG barely moves from w=0 to 0.25 while CR barely
 // moves from 0.25 to 1 — so the holistic optimum sits near w ≈ 0.25.
+//
+// Multi-seed: each weight is replayed over `--seeds` independent traces in
+// parallel via the ExperimentRunner, and reported as mean ± stddev (the
+// error bars the paper's single-trace figure lacks).
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 
 namespace crowdrl {
 namespace {
@@ -12,33 +17,70 @@ namespace {
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.12, 6);
+  RunnerConfig cfg = bench::ParseRunnerSetup(flags, setup);
+  if (flags.Has("methods") || flags.Has("objective")) {
+    std::fprintf(stderr,
+                 "fig9_balance sweeps the aggregation weight of the "
+                 "balanced DDQN; --methods/--objective are ignored\n");
+  }
+  cfg.methods = {"ddqn"};
+  cfg.objective = Objective::kBalanced;
 
-  std::printf("fig9_balance: scale=%.2f months=%d seed=%llu\n",
-              setup.paper ? 1.0 : setup.scale, setup.months,
-              static_cast<unsigned long long>(setup.seed));
-  Dataset ds = SyntheticGenerator(setup.MakeSyntheticConfig()).Generate();
-  CROWDRL_CHECK(ds.Validate().ok());
-
-  Experiment exp(&ds, setup.MakeExperimentConfig());
+  std::printf("fig9_balance: scale=%.2f months=%d seeds=%d seed=%llu\n",
+              cfg.synthetic.scale, cfg.synthetic.eval_months, cfg.num_seeds,
+              static_cast<unsigned long long>(cfg.base_seed));
 
   const std::vector<double> weights = {0.0, 0.25, 0.5, 0.75, 1.0};
-  Table t({"w", "CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG"});
+  // One runner for the whole figure: the (scenario × seed) traces are
+  // generated once and every weight variant replays the same ones.
+  ExperimentRunner runner(cfg);
+  Table t({"scenario", "w", "CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG"});
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "crowdrl.fig9_balance.v1");
+  json.KV("base_seed", cfg.base_seed);
+  json.KV("num_seeds", cfg.num_seeds);
+  json.Key("weights").BeginArray();
+
   for (double w : weights) {
-    std::printf("... running dual-DQN framework with w=%.2f\n", w);
+    std::printf("... sweeping dual-DQN framework with w=%.2f (%d seeds x %zu "
+                "scenarios)\n",
+                w, cfg.num_seeds, cfg.scenarios.size());
     std::fflush(stdout);
-    FrameworkConfig cfg = exp.MakeFrameworkConfig(Objective::kBalanced);
-    cfg.worker_weight = w;
-    char label[32];
-    std::snprintf(label, sizeof(label), "DDQN(w=%.2f)", w);
-    MethodResult result = exp.RunFramework(cfg, label);
-    const auto& v = result.run.final_metrics;
-    t.AddRow({Table::Num(w, 2), Table::Num(v.cr, 3), Table::Num(v.kcr, 3),
-              Table::Num(v.ndcg_cr, 3), Table::Num(v.qg, 1),
-              Table::Num(v.kqg, 1), Table::Num(v.ndcg_qg, 1)});
+    ExperimentConfig weighted = cfg.experiment;
+    weighted.worker_weight = w;
+    SweepResult sweep = runner.Run(weighted);
+
+    json.BeginObject();
+    json.KV("w", w);
+    json.Key("cells").BeginArray();
+    for (const CellResult& cell : sweep.cells) {
+      t.AddRow({cell.scenario, Table::Num(w, 2), bench::PlusMinus(cell.cr, 3),
+                bench::PlusMinus(cell.kcr, 3),
+                bench::PlusMinus(cell.ndcg_cr, 3),
+                bench::PlusMinus(cell.qg, 1), bench::PlusMinus(cell.kqg, 1),
+                bench::PlusMinus(cell.ndcg_qg, 1)});
+      json.BeginObject();
+      json.KV("scenario", cell.scenario);
+      json.KV("cr_mean", cell.cr.mean);
+      json.KV("cr_ci95", cell.cr.ci95);
+      json.KV("qg_mean", cell.qg.mean);
+      json.KV("qg_ci95", cell.qg.ci95);
+      json.KV("ndcg_cr_mean", cell.ndcg_cr.mean);
+      json.KV("ndcg_qg_mean", cell.ndcg_qg.mean);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
   }
-  t.Print("Fig 9: benefit balance vs aggregation weight w "
-          "(paper: holistic optimum near w = 0.25)");
+  json.EndArray();
+  json.EndObject();
+
+  t.Print("Fig 9: benefit balance vs aggregation weight w, mean ± stddev "
+          "over seeds (paper: holistic optimum near w = 0.25)");
   bench::EmitCsv(t, setup, "fig9_balance.csv");
+  bench::EmitJson(json.str(), setup, "fig9_balance.json");
   return 0;
 }
 

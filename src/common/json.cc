@@ -1,0 +1,151 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    CROWDRL_CHECK_MSG(key_pending_, "JSON object member needs Key() first");
+    key_pending_ = false;
+    return;
+  }
+  if (top.has_members) out_ += ',';
+  top.has_members = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back({Scope::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CROWDRL_CHECK_MSG(!stack_.empty() && stack_.back().scope == Scope::kObject,
+                    "EndObject without matching BeginObject");
+  CROWDRL_CHECK_MSG(!key_pending_, "dangling Key() at EndObject");
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back({Scope::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CROWDRL_CHECK_MSG(!stack_.empty() && stack_.back().scope == Scope::kArray,
+                    "EndArray without matching BeginArray");
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  CROWDRL_CHECK_MSG(!stack_.empty() && stack_.back().scope == Scope::kObject,
+                    "Key() outside of an object");
+  CROWDRL_CHECK_MSG(!key_pending_, "two Key() calls in a row");
+  Frame& top = stack_.back();
+  if (top.has_members) out_ += ',';
+  top.has_members = true;
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  out_ += FormatDouble(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,84 @@
+#ifndef CROWDRL_COMMON_JSON_H_
+#define CROWDRL_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crowdrl {
+
+/// \brief Minimal streaming JSON writer for result artifacts.
+///
+/// Emits deterministic output: keys appear in call order, doubles are
+/// rendered with shortest-round-trip `%.17g` (so equal inputs always yield
+/// byte-identical files — the experiment runner relies on this for its
+/// thread-count-invariance guarantee), and non-finite doubles become null.
+/// Commas and nesting are managed internally; misuse (closing the wrong
+/// container, value without key inside an object) aborts via check.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Double(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // ---- key+value conveniences ----
+  JsonWriter& KV(const std::string& key, const std::string& value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(const std::string& key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(const std::string& key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& KV(const std::string& key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& KV(const std::string& key, int value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& KV(const std::string& key, uint64_t value) {
+    return Key(key).UInt(value);
+  }
+  JsonWriter& KV(const std::string& key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  /// The document so far. Valid once every container has been closed.
+  const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes not included).
+  static std::string Escape(const std::string& s);
+  /// Deterministic double rendering (`%.17g`, non-finite → "null").
+  static std::string FormatDouble(double value);
+
+ private:
+  void BeforeValue();
+
+  enum class Scope : uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_members = false;
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_JSON_H_

@@ -4,6 +4,26 @@
 
 namespace crowdrl {
 
+namespace {
+/// The pool whose ParallelFor body the current thread is executing, if any.
+/// Set both in WorkerLoop and around the caller's own participation so a
+/// nested ParallelFor on the same pool can be detected and run inline
+/// instead of deadlocking on the pool's single-job slot.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+class ScopedActivePool {
+ public:
+  explicit ScopedActivePool(const ThreadPool* pool)
+      : saved_(tls_active_pool) {
+    tls_active_pool = pool;
+  }
+  ~ScopedActivePool() { tls_active_pool = saved_; }
+
+ private:
+  const ThreadPool* saved_;
+};
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
@@ -24,14 +44,21 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+bool ThreadPool::InsideThisPool() const { return tls_active_pool == this; }
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || threads_.empty()) {
+  if (n == 1 || threads_.empty() || InsideThisPool()) {
+    // Nested parallelism (a task of this pool calling back into it) would
+    // deadlock waiting for workers that are all busy in the outer loop —
+    // run the nested loop inline on the calling thread instead.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
-  CROWDRL_CHECK_MSG(job_ == nullptr, "ThreadPool::ParallelFor is not reentrant");
+  // Independent threads submitting concurrently queue up here; the pool
+  // runs one job at a time.
+  done_cv_.wait(lock, [this] { return job_ == nullptr; });
   job_ = &fn;
   job_size_ = n;
   next_index_ = 0;
@@ -39,21 +66,29 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   ++generation_;
   work_cv_.notify_all();
   // The calling thread participates too.
-  while (true) {
-    size_t i = next_index_;
-    if (i >= job_size_) break;
-    next_index_ = i + 1;
-    ++in_flight_;
-    lock.unlock();
-    fn(i);
-    lock.lock();
-    --in_flight_;
+  {
+    ScopedActivePool scope(this);
+    while (true) {
+      size_t i = next_index_;
+      if (i >= job_size_) break;
+      next_index_ = i + 1;
+      ++in_flight_;
+      lock.unlock();
+      fn(i);
+      lock.lock();
+      --in_flight_;
+    }
   }
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
   job_ = nullptr;
+  // Wake any caller queued behind this job (and the final-iteration waiter
+  // path in WorkerLoop only notifies while a job is installed, so this is
+  // the hand-off point for queued submitters).
+  done_cv_.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {
+  ScopedActivePool scope(this);
   std::unique_lock<std::mutex> lock(mu_);
   uint64_t seen_generation = 0;
   while (true) {

@@ -28,8 +28,16 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
-  /// iterations finish. Reentrant calls from within tasks are not supported.
+  /// iterations finish. Safe to call re-entrantly from inside a task: the
+  /// nested loop is detected and runs inline on the calling thread (the
+  /// outer loop already owns the workers, so handing the nested job to the
+  /// pool would deadlock). Concurrent submissions from independent threads
+  /// queue and run one job at a time.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// True when the calling thread is currently executing a ParallelFor
+  /// iteration of *this* pool (worker or participating submitter).
+  bool InsideThisPool() const;
 
   /// Process-wide shared pool (lazy, sized to hardware concurrency).
   static ThreadPool& Global();

@@ -87,6 +87,11 @@ class TaskArrangementFramework : public Policy {
   const Explorer& explorer() const { return explorer_; }
   const FrameworkConfig& config() const { return config_; }
   int64_t transitions_stored() const;
+  /// Decisions awaiting feedback (delayed-feedback scenario); bounded by
+  /// kMaxPendingDecisions.
+  size_t pending_decisions() const { return pending_.size(); }
+  /// Oldest-first eviction bound on the Rank→OnFeedback backlog.
+  static constexpr size_t kMaxPendingDecisions = 128;
 
   /// Greedy (exploration-free) combined scores for a state — used by tests
   /// and the ablation benches.
@@ -155,7 +160,6 @@ class TaskArrangementFramework : public Policy {
     /// task was truncated away by maxT).
     std::vector<int> task_to_row;
   };
-  static constexpr size_t kMaxPendingDecisions = 128;
   std::map<int64_t, Pending> pending_;
 };
 

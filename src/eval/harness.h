@@ -92,6 +92,9 @@ class ReplayHarness : public EnvView {
   const Platform& platform() const { return platform_; }
   const BehaviorModel& behavior() const { return behavior_; }
   const HarnessConfig& config() const { return config_; }
+  /// True once Run() has consumed this harness (Run is one-shot: replaying
+  /// again would reuse contaminated feature/quality state and CHECK-fails).
+  bool used() const { return used_; }
 
  private:
   Observation BuildObservation(WorkerId worker, int64_t arrival_index) const;

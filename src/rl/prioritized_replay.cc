@@ -62,14 +62,17 @@ std::vector<PrioritizedReplay::Sample> PrioritizedReplay::SampleBatch(
   std::vector<Sample> out;
   out.reserve(batch);
   const double total = tree_[1];
+  // Both branches must advance the annealing clock: the uniform fallback
+  // used to skip it, silently stalling the beta schedule whenever the tree
+  // mass hit zero (e.g. min_priority == 0 with all-zero TD errors).
+  const double b = beta();
+  sample_steps_ += static_cast<int64_t>(batch);
   if (total <= 0) {
     for (size_t i = 0; i < batch; ++i) {
       out.push_back({rng->UniformInt(size_), 1.0f});
     }
     return out;
   }
-  const double b = beta();
-  sample_steps_ += static_cast<int64_t>(batch);
   const double segment = total / static_cast<double>(batch);
   double max_weight = 0.0;
   std::vector<double> weights(batch);

@@ -1,0 +1,77 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace crowdrl {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "sweep");
+  w.KV("seeds", static_cast<int64_t>(5));
+  w.KV("scale", 0.25);
+  w.KV("paper", false);
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"sweep\",\"seeds\":5,\"scale\":0.25,\"paper\":false}");
+}
+
+TEST(JsonWriterTest, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cells").BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.KV("i", static_cast<int64_t>(i));
+    w.Key("vals").BeginArray().Int(1).Int(2).EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("empty").BeginArray().EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"cells\":[{\"i\":0,\"vals\":[1,2]},{\"i\":1,\"vals\":[1,2]}],"
+            "\"empty\":[]}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("s", "a\"b\\c\nd\te");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, DoubleFormattingIsDeterministicAndRoundTrips) {
+  EXPECT_EQ(JsonWriter::FormatDouble(0.1),
+            JsonWriter::FormatDouble(0.1));
+  // %.17g round-trips doubles exactly.
+  const double v = 0.123456789012345678;
+  EXPECT_EQ(std::stod(JsonWriter::FormatDouble(v)), v);
+  EXPECT_EQ(JsonWriter::FormatDouble(
+                std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(JsonWriter::FormatDouble(
+                std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyInObjectAborts) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_DEATH(w.Int(1), "Key");
+}
+
+TEST(JsonWriterDeathTest, MismatchedCloseAborts) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_DEATH(w.EndArray(), "EndArray");
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -63,6 +63,66 @@ TEST(ThreadPoolTest, SequentialCallsWork) {
   EXPECT_EQ(total.load(), 20 * (99 * 100 / 2));
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // Regression: a ParallelFor issued from inside a pool task used to abort
+  // (or deadlock) on the pool's single-job slot. It must now run inline on
+  // the calling thread and still cover every iteration exactly once.
+  ThreadPool pool(4);
+  const size_t outer = 16, inner = 32;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  std::atomic<int> inline_nested{0};
+  pool.ParallelFor(outer, [&](size_t o) {
+    EXPECT_TRUE(pool.InsideThisPool());
+    pool.ParallelFor(inner, [&](size_t i) {
+      hits[o * inner + i].fetch_add(1);
+    });
+    inline_nested.fetch_add(1);
+  });
+  EXPECT_EQ(inline_nested.load(), static_cast<int>(outer));
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  EXPECT_FALSE(pool.InsideThisPool());
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForTerminates) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) {
+      pool.ParallelFor(4, [&](size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersQueueInsteadOfAborting) {
+  // Independent threads racing to submit jobs serialize on the pool.
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        pool.ParallelFor(50, [&](size_t i) { total.fetch_add(i); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4 * 10 * (49 * 50 / 2));
+}
+
+TEST(ThreadPoolTest, NestedAcrossDistinctPoolsStillParallel) {
+  // Nesting across *different* pools is not the deadlock case and must
+  // keep working (e.g. an outer runner pool with inner Global() updates).
+  ThreadPool outer(2), inner_pool(2);
+  std::atomic<int> count{0};
+  outer.ParallelFor(8, [&](size_t) {
+    EXPECT_TRUE(outer.InsideThisPool());
+    EXPECT_FALSE(inner_pool.InsideThisPool());
+    inner_pool.ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   std::atomic<int> count{0};
   ThreadPool::Global().ParallelFor(10, [&](size_t) { count.fetch_add(1); });

@@ -185,6 +185,75 @@ TEST(FrameworkTest, FeedbackWithoutRankIsIgnored) {
   EXPECT_EQ(fw.worker_agent()->stored(), 0);
 }
 
+TEST(FrameworkTest, OutOfOrderFeedbackSettlesEveryPendingDecision) {
+  // Delayed-feedback scenario: several workers are ranked before any of
+  // their feedback arrives, and the feedback settles out of order. Every
+  // decision context must be matched by arrival index and released.
+  FixtureEnv env;
+  TaskArrangementFramework fw(SmallFrameworkConfig(Objective::kWorkerBenefit),
+                              &env, env.fb_.worker_dim(), env.fb_.task_dim());
+  std::vector<Observation> obs;
+  std::vector<std::vector<int>> rankings;
+  for (int64_t i = 0; i < 4; ++i) {
+    obs.push_back(env.MakeObservation(i % 3, i, {0, 1, 2, 3}, 100 + 10 * i));
+    fw.OnArrival(obs.back());
+    rankings.push_back(fw.Rank(obs.back()));
+  }
+  EXPECT_EQ(fw.pending_decisions(), 4u);
+
+  int64_t stored_before = 0;
+  for (int64_t i : {2, 0, 3, 1}) {  // settle out of order
+    Feedback fb;
+    fb.completed_pos = 0;
+    fb.completed_index = rankings[i][0];
+    fb.quality_gain = 0.1;
+    fw.OnFeedback(obs[i], rankings[i], fb);
+    const int64_t stored_now = fw.worker_agent()->stored();
+    EXPECT_GT(stored_now, stored_before) << "feedback " << i << " ignored";
+    stored_before = stored_now;
+  }
+  EXPECT_EQ(fw.pending_decisions(), 0u);
+}
+
+TEST(FrameworkTest, PendingBacklogEvictsOldestFirst) {
+  // More in-flight decisions than kMaxPendingDecisions: the oldest are
+  // dropped, their late feedback is ignored gracefully, and the newest
+  // still settle normally.
+  FixtureEnv env;
+  TaskArrangementFramework fw(SmallFrameworkConfig(Objective::kWorkerBenefit),
+                              &env, env.fb_.worker_dim(), env.fb_.task_dim());
+  const int64_t total =
+      static_cast<int64_t>(TaskArrangementFramework::kMaxPendingDecisions) + 8;
+  std::vector<Observation> obs;
+  std::vector<std::vector<int>> rankings;
+  for (int64_t i = 0; i < total; ++i) {
+    obs.push_back(env.MakeObservation(i % 3, i, {0, 1, 2}, 100 + i));
+    fw.OnArrival(obs.back());
+    rankings.push_back(fw.Rank(obs.back()));
+    EXPECT_LE(fw.pending_decisions(),
+              TaskArrangementFramework::kMaxPendingDecisions);
+  }
+  EXPECT_EQ(fw.pending_decisions(),
+            TaskArrangementFramework::kMaxPendingDecisions);
+
+  Feedback fb;
+  fb.completed_pos = 0;
+  // Arrival 0 was evicted (oldest-first): its feedback must be a no-op.
+  fb.completed_index = rankings[0][0];
+  const int64_t stored_before = fw.worker_agent()->stored();
+  fw.OnFeedback(obs[0], rankings[0], fb);
+  EXPECT_EQ(fw.worker_agent()->stored(), stored_before);
+  EXPECT_EQ(fw.pending_decisions(),
+            TaskArrangementFramework::kMaxPendingDecisions);
+
+  // The newest decision survived and settles.
+  fb.completed_index = rankings[total - 1][0];
+  fw.OnFeedback(obs[total - 1], rankings[total - 1], fb);
+  EXPECT_GT(fw.worker_agent()->stored(), stored_before);
+  EXPECT_EQ(fw.pending_decisions(),
+            TaskArrangementFramework::kMaxPendingDecisions - 1);
+}
+
 TEST(FrameworkTest, HistoryWarmStartStoresPrefixOutcomes) {
   FixtureEnv env;
   TaskArrangementFramework fw(SmallFrameworkConfig(Objective::kBalanced),

@@ -2,6 +2,8 @@
 // so feedback settles after later workers have already been arranged.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baselines/random_policy.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
@@ -84,6 +86,68 @@ TEST(DelayedFeedbackTest, FrameworkLearnsDespiteDelay) {
   EXPECT_GT(fw.worker_agent()->stored(), 0);
   EXPECT_GT(fw.worker_agent()->learn_steps(), 0);
   EXPECT_GE(result.final_metrics.cr, 0.0);
+}
+
+/// Delegates to a TaskArrangementFramework while asserting the pending
+/// decision backlog invariant on every call.
+class BacklogProbePolicy : public Policy {
+ public:
+  explicit BacklogProbePolicy(TaskArrangementFramework* fw) : fw_(fw) {}
+  std::string name() const override { return fw_->name(); }
+  void OnArrival(const Observation& obs) override { fw_->OnArrival(obs); }
+  std::vector<int> Rank(const Observation& obs) override {
+    auto r = fw_->Rank(obs);
+    max_pending_ = std::max(max_pending_, fw_->pending_decisions());
+    EXPECT_LE(fw_->pending_decisions(),
+              TaskArrangementFramework::kMaxPendingDecisions);
+    return r;
+  }
+  void OnFeedback(const Observation& obs, const std::vector<int>& ranking,
+                  const Feedback& feedback) override {
+    fw_->OnFeedback(obs, ranking, feedback);
+  }
+  void OnHistory(const Observation& obs, const std::vector<int>& order,
+                 int pos, double gain) override {
+    fw_->OnHistory(obs, order, pos, gain);
+  }
+  void OnInitEnd() override { fw_->OnInitEnd(); }
+  void OnDayEnd(SimTime now) override { fw_->OnDayEnd(now); }
+  size_t max_pending() const { return max_pending_; }
+
+ private:
+  TaskArrangementFramework* fw_;
+  size_t max_pending_ = 0;
+};
+
+TEST(DelayedFeedbackTest, BacklogSaturatesEvictsAndFullyDrains) {
+  // A month-long completion delay keeps far more than kMaxPendingDecisions
+  // arrivals in flight, so the framework must evict oldest-first during the
+  // run, ignore the late feedback of evicted decisions, and end the trace
+  // with an empty backlog once the harness settles everything.
+  Dataset ds = SmallDataset();
+  ExperimentConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.num_heads = 2;
+  cfg.batch_size = 8;
+  cfg.learn_every = 16;
+  cfg.seed = 33;
+  cfg.harness.feedback_delay_minutes = 30 * 24 * 60;
+
+  ReplayHarness harness(&ds, cfg.harness);
+  Experiment exp(&ds, cfg);
+  FrameworkConfig fc = exp.MakeFrameworkConfig(Objective::kWorkerBenefit);
+  TaskArrangementFramework fw(fc, &harness, harness.worker_feature_dim(),
+                              harness.task_feature_dim());
+  BacklogProbePolicy probe(&fw);
+  RunResult result = harness.Run(&probe);
+
+  // The backlog actually hit the cap (the eviction path was exercised) …
+  EXPECT_EQ(probe.max_pending(),
+            TaskArrangementFramework::kMaxPendingDecisions);
+  // … yet every queued settlement was delivered and matched or skipped.
+  EXPECT_EQ(fw.pending_decisions(), 0u);
+  EXPECT_GT(result.arrivals_evaluated, 100);
+  EXPECT_GT(fw.worker_agent()->stored(), 0);
 }
 
 TEST(DelayedFeedbackTest, DelayDegradesInformedPoliciesGracefully) {

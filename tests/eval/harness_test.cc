@@ -5,6 +5,7 @@
 #include "baselines/oracle.h"
 #include "baselines/random_policy.h"
 #include "data/synthetic.h"
+#include "eval/experiment.h"
 
 namespace crowdrl {
 namespace {
@@ -127,8 +128,38 @@ TEST(HarnessDeathTest, RunIsOneShot) {
   Dataset ds = TestDataset();
   ReplayHarness harness(&ds, TestHarnessConfig());
   RandomPolicy policy(3);
+  EXPECT_FALSE(harness.used());
   harness.Run(&policy);
+  EXPECT_TRUE(harness.used());
   EXPECT_DEATH(harness.Run(&policy), "one-shot");
+}
+
+TEST(HarnessDeathTest, RunIsOneShotInDelayedFeedbackMode) {
+  // The delayed path defers state mutation through the settlement queue; a
+  // second Run would replay against settled qualities and must fail fast
+  // just like the instant path.
+  Dataset ds = TestDataset();
+  HarnessConfig cfg = TestHarnessConfig();
+  cfg.feedback_delay_minutes = 180;
+  ReplayHarness harness(&ds, cfg);
+  RandomPolicy policy(3);
+  harness.Run(&policy);
+  RandomPolicy fresh(3);
+  EXPECT_DEATH(harness.Run(&fresh), "one-shot");
+}
+
+TEST(HarnessTest, ExperimentRunsAreContaminationFree) {
+  // Experiment constructs a fresh harness per run, so running the same
+  // method twice must be bit-identical — the regression the one-shot guard
+  // protects against (silently replaying with warmed state).
+  Dataset ds = TestDataset();
+  ExperimentConfig cfg;
+  Experiment exp(&ds, cfg);
+  MethodResult a = exp.RunMethod("random", Objective::kWorkerBenefit);
+  MethodResult b = exp.RunMethod("random", Objective::kWorkerBenefit);
+  EXPECT_DOUBLE_EQ(a.run.final_metrics.cr, b.run.final_metrics.cr);
+  EXPECT_DOUBLE_EQ(a.run.final_metrics.qg, b.run.final_metrics.qg);
+  EXPECT_EQ(a.run.completions, b.run.completions);
 }
 
 }  // namespace

@@ -122,6 +122,36 @@ TEST(PrioritizedReplayTest, BetaAnnealsTowardOne) {
   EXPECT_NEAR(replay.beta(), 1.0, 1e-9);
 }
 
+TEST(PrioritizedReplayTest, UniformFallbackAdvancesBetaSchedule) {
+  // Regression: with zero total priority (min_priority == 0 and all TD
+  // errors zeroed) the uniform-fallback branch returned without advancing
+  // sample_steps_, freezing beta at beta0 while the main path annealed.
+  PrioritizedReplayConfig cfg = SmallConfig(4);
+  cfg.min_priority = 0.0;
+  cfg.beta_anneal_steps = 64;
+  PrioritizedReplay degenerate(cfg);
+  PrioritizedReplay healthy(cfg);
+  for (int i = 0; i < 4; ++i) {
+    degenerate.Add(MakeTransition(i));
+    healthy.Add(MakeTransition(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    degenerate.UpdatePriority(i, 0.0);  // total mass collapses to zero
+    healthy.UpdatePriority(i, 1.0);
+  }
+  ASSERT_LE(degenerate.total_priority(), 0.0);
+  Rng rng_a(8), rng_b(9);
+  for (int i = 0; i < 5; ++i) {
+    auto batch = degenerate.SampleBatch(8, &rng_a);
+    EXPECT_EQ(batch.size(), 8u);
+    for (const auto& s : batch) EXPECT_LT(s.slot, 4u);
+    healthy.SampleBatch(8, &rng_b);
+  }
+  // Both paths must have annealed identically.
+  EXPECT_DOUBLE_EQ(degenerate.beta(), healthy.beta());
+  EXPECT_GT(degenerate.beta(), cfg.beta0);
+}
+
 TEST(PrioritizedReplayTest, MinPriorityPreventsStarvation) {
   PrioritizedReplay replay(SmallConfig(4));
   for (int i = 0; i < 4; ++i) replay.Add(MakeTransition(i));
