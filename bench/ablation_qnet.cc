@@ -24,7 +24,9 @@ struct Variant {
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.15, 5);
-  const std::string part = flags.GetString("part", "all");
+  const std::string part =
+      flags.GetString("part", "all", "which ablation: arch|hyper|all");
+  if (bench::HandleHelp(flags)) return 0;
 
   std::printf("ablation_qnet: scale=%.2f months=%d part=%s\n",
               setup.paper ? 1.0 : setup.scale, setup.months, part.c_str());

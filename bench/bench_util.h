@@ -55,12 +55,27 @@ struct BenchSetup {
 inline BenchSetup ParseSetup(const CliFlags& flags, double default_scale,
                              int default_months) {
   BenchSetup setup;
-  setup.scale = flags.GetDouble("scale", default_scale);
-  setup.months = static_cast<int>(flags.GetInt("months", default_months));
-  setup.paper = flags.GetBool("paper", false);
-  setup.seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
-  setup.out_dir = flags.GetString("out", "results");
+  setup.scale = flags.GetDouble(
+      "scale", default_scale,
+      "volume multiplier on the CrowdSpring-calibrated trace");
+  setup.months = static_cast<int>(
+      flags.GetInt("months", default_months, "evaluated months (paper: 12)"));
+  setup.paper = flags.GetBool(
+      "paper", false,
+      "full paper scale + published DQN hyper-parameters (slow on CPU)");
+  setup.seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 17, "master seed"));
+  setup.out_dir =
+      flags.GetString("out", "results", "CSV/JSON output directory");
   return setup;
+}
+
+/// `--help` gate: call after every flag has been read (lookups register the
+/// flag surface) — prints the generated usage and tells the caller to exit.
+inline bool HandleHelp(const CliFlags& flags) {
+  if (!flags.HelpRequested()) return false;
+  flags.PrintHelp();
+  return true;
 }
 
 /// Writes and announces a CSV next to the printed table.

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 #include "common/stopwatch.h"
 #include "eval/harness.h"
 
@@ -21,7 +22,8 @@ const std::vector<std::string>& Fig10Methods() {
 }
 
 void RunRateSweep(const bench::BenchSetup& setup, Objective objective,
-                  const char* caption, const char* csv) {
+                  const char* caption, const char* csv, JsonWriter* json,
+                  const char* json_key) {
   Dataset base = SyntheticGenerator(setup.MakeSyntheticConfig()).Generate();
   // Default sweep covers the paper's endpoints and midpoint; --paper also
   // evaluates the published 0.5-step grid.
@@ -31,25 +33,34 @@ void RunRateSweep(const bench::BenchSetup& setup, Objective objective,
   std::vector<std::string> header = {"sampling_rate"};
   for (const auto& m : Fig10Methods()) header.push_back(m);
   Table t(header);
+  json->Key(json_key).BeginArray();
   for (double rate : rates) {
     Dataset ds = ResampleArrivals(base, rate, setup.seed ^ 0x10AULL);
     Experiment exp(&ds, setup.MakeExperimentConfig());
     std::vector<std::string> row = {Table::Num(rate, 1)};
+    json->BeginObject();
+    json->KV("sampling_rate", rate);
     for (const auto& method : Fig10Methods()) {
       std::printf("... rate=%.1f %s\n", rate, method.c_str());
       std::fflush(stdout);
       MethodResult r = exp.RunMethod(method, objective);
+      const double value = objective == Objective::kWorkerBenefit
+                               ? r.run.final_metrics.cr
+                               : r.run.final_metrics.qg;
       row.push_back(objective == Objective::kWorkerBenefit
-                        ? Table::Num(r.run.final_metrics.cr, 3)
-                        : Table::Num(r.run.final_metrics.qg, 1));
+                        ? Table::Num(value, 3)
+                        : Table::Num(value, 1));
+      json->KV(method, value);
     }
+    json->EndObject();
     t.AddRow(row);
   }
+  json->EndArray();
   t.Print(caption);
   bench::EmitCsv(t, setup, csv);
 }
 
-void RunQualityNoise(const bench::BenchSetup& setup) {
+void RunQualityNoise(const bench::BenchSetup& setup, JsonWriter* json) {
   Dataset base = SyntheticGenerator(setup.MakeSyntheticConfig()).Generate();
   const std::vector<std::pair<double, double>> noises = {
       {-0.4, 0.2}, {-0.2, 0.2}, {0.0, 0.2}, {0.2, 0.2}};
@@ -57,6 +68,7 @@ void RunQualityNoise(const bench::BenchSetup& setup) {
   std::vector<std::string> header = {"noise"};
   for (const auto& m : Fig10Methods()) header.push_back(m);
   Table t(header);
+  json->Key("quality_noise_qg").BeginArray();
   for (const auto& [mean, std] : noises) {
     Dataset ds =
         PerturbWorkerQualities(base, mean, std, setup.seed ^ 0x10CULL);
@@ -64,14 +76,20 @@ void RunQualityNoise(const bench::BenchSetup& setup) {
     char label[32];
     std::snprintf(label, sizeof(label), "N(%.1f,%.1f)", mean, std);
     std::vector<std::string> row = {label};
+    json->BeginObject();
+    json->KV("noise_mean", mean);
+    json->KV("noise_std", std);
     for (const auto& method : Fig10Methods()) {
       std::printf("... noise=%s %s\n", label, method.c_str());
       std::fflush(stdout);
       MethodResult r = exp.RunMethod(method, Objective::kRequesterBenefit);
       row.push_back(Table::Num(r.run.final_metrics.qg, 1));
+      json->KV(method, r.run.final_metrics.qg);
     }
+    json->EndObject();
     t.AddRow(row);
   }
+  json->EndArray();
   t.Print("Fig 10(c): QG vs worker-quality noise "
           "(higher quality ⇒ larger gains; DDQN best throughout)");
   bench::EmitCsv(t, setup, "fig10c_quality_noise.csv");
@@ -142,12 +160,13 @@ Dataset MakePoolDataset(size_t pool_size, uint64_t seed) {
   return ds;
 }
 
-void RunScalability(const bench::BenchSetup& setup) {
+void RunScalability(const bench::BenchSetup& setup, JsonWriter* json) {
   std::vector<size_t> pool_sizes = {10, 50, 100, 500, 1000};
   if (setup.paper) pool_sizes.push_back(5000);
 
   Table t({"available_tasks", "linucb_update_s", "ddqn_update_s",
            "linucb_rank_s", "ddqn_rank_s"});
+  json->Key("scalability").BeginArray();
   for (size_t n : pool_sizes) {
     std::printf("... pool=%zu\n", n);
     std::fflush(stdout);
@@ -173,7 +192,16 @@ void RunScalability(const bench::BenchSetup& setup) {
               Table::Num(dqn.run.mean_feedback_update_s, 6),
               Table::Num(lin.run.mean_rank_s, 6),
               Table::Num(dqn.run.mean_rank_s, 6)});
+    json->BeginObject();
+    json->KV("available_tasks", static_cast<int64_t>(n));
+    json->KV("linucb_update_s", lin.run.mean_feedback_update_s);
+    json->KV("ddqn_update_s", dqn.run.mean_feedback_update_s);
+    json->KV("linucb_rank_s", lin.run.mean_rank_s);
+    json->KV("ddqn_rank_s", dqn.run.mean_rank_s);
+    json->KV("ddqn_rank_p99_s", dqn.run.rank_p99_s);
+    json->EndObject();
   }
+  json->EndArray();
   t.Print("Fig 10(d): per-arrival model-update time vs pool size "
           "(paper, GPU: ~linear; DDQN ≈ 0.5 s at 1k tasks)");
   bench::EmitCsv(t, setup, "fig10d_scalability.csv");
@@ -182,29 +210,41 @@ void RunScalability(const bench::BenchSetup& setup) {
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.08, 4);
-  const std::string part = flags.GetString("part", "all");
+  const std::string part =
+      flags.GetString("part", "all", "which sub-figure: a|b|c|d|all");
+  if (bench::HandleHelp(flags)) return 0;
 
   std::printf("fig10_synthetic: scale=%.2f months=%d part=%s\n",
               setup.paper ? 1.0 : setup.scale, setup.months, part.c_str());
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "crowdrl.fig10_synthetic.v1");
+  json.KV("scale", setup.paper ? 1.0 : setup.scale);
+  json.KV("months", static_cast<int64_t>(setup.months));
+  json.KV("seed", setup.seed);
+  json.KV("part", part);
 
   if (part == "a" || part == "all") {
     RunRateSweep(setup, Objective::kWorkerBenefit,
                  "Fig 10(a): CR vs worker-arrival sampling rate "
                  "(CR is rate-normalized ⇒ roughly flat; DDQN on top)",
-                 "fig10a_rate_cr.csv");
+                 "fig10a_rate_cr.csv", &json, "rate_cr");
   }
   if (part == "b" || part == "all") {
     RunRateSweep(setup, Objective::kRequesterBenefit,
                  "Fig 10(b): QG vs worker-arrival sampling rate "
                  "(absolute QG grows with arrivals; DDQN on top)",
-                 "fig10b_rate_qg.csv");
+                 "fig10b_rate_qg.csv", &json, "rate_qg");
   }
   if (part == "c" || part == "all") {
-    RunQualityNoise(setup);
+    RunQualityNoise(setup, &json);
   }
   if (part == "d" || part == "all") {
-    RunScalability(setup);
+    RunScalability(setup, &json);
   }
+  json.EndObject();
+  bench::EmitJson(json.str(), setup, "fig10_synthetic.json");
   return 0;
 }
 

@@ -6,10 +6,24 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 #include "data/stats.h"
 
 namespace crowdrl {
 namespace {
+
+void WriteHistogram(JsonWriter* w, const char* key,
+                    const std::vector<GapBin>& bins) {
+  w->Key(key).BeginArray();
+  for (const auto& b : bins) {
+    w->BeginObject();
+    w->KV("lo_min", static_cast<int64_t>(b.lo));
+    w->KV("hi_min", static_cast<int64_t>(b.hi));
+    w->KV("count", b.count);
+    w->EndObject();
+  }
+  w->EndArray();
+}
 
 Table HistogramTable(const std::vector<GapBin>& bins,
                      const std::string& unit) {
@@ -40,6 +54,7 @@ int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   // Trace statistics are cheap — default to the full paper-scale trace.
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/1.0, 12);
+  if (bench::HandleHelp(flags)) return 0;
 
   std::printf("fig5_arrival_gaps: scale=%.2f months=%d seed=%llu\n",
               setup.paper ? 1.0 : setup.scale, setup.months,
@@ -78,6 +93,21 @@ int Main(int argc, char** argv) {
                              1) + "%"});
   summary.Print("Fig 5 summary statistics");
   bench::EmitCsv(summary, setup, "fig5_summary.csv");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "crowdrl.fig5_arrival_gaps.v1");
+  json.KV("scale", setup.paper ? 1.0 : setup.scale);
+  json.KV("months", static_cast<int64_t>(setup.months));
+  json.KV("seed", setup.seed);
+  WriteHistogram(&json, "same_worker_short", fig5a);
+  WriteHistogram(&json, "same_worker_week", fig5b);
+  WriteHistogram(&json, "any_worker", fig5c);
+  json.KV("median_same_worker_gap_days", median_gap / kMinutesPerDay);
+  json.KV("any_worker_under_hour_pct",
+          100.0 * any_under_hour / std::max<int64_t>(1, any_total));
+  json.EndObject();
+  bench::EmitJson(json.str(), setup, "fig5_arrival_gaps.json");
   return 0;
 }
 

@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/1.0, 12);
   RunnerConfig cfg = bench::ParseRunnerSetup(flags, setup);
+  if (bench::HandleHelp(flags)) return 0;
 
   std::printf("fig6_platform_stats: scale=%.2f months=%d seeds=%d seed=%llu\n",
               cfg.synthetic.scale, cfg.synthetic.eval_months, cfg.num_seeds,

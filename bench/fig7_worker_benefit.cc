@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 
 namespace crowdrl {
 namespace {
@@ -14,7 +15,9 @@ namespace {
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.2, 12);
-  const bool with_oracle = flags.GetBool("oracle", true);
+  const bool with_oracle = flags.GetBool(
+      "oracle", true, "include the clairvoyant oracle upper reference");
+  if (bench::HandleHelp(flags)) return 0;
 
   std::printf("fig7_worker_benefit: scale=%.2f months=%d seed=%llu%s\n",
               setup.paper ? 1.0 : setup.scale, setup.months,
@@ -69,6 +72,35 @@ int Main(int argc, char** argv) {
   final_table.Print("Fig 7 final values (paper: Random .154/.325/.460 … "
                     "DDQN .438/.677/.768)");
   bench::EmitCsv(final_table, setup, "fig7_final.csv");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "crowdrl.fig7_worker_benefit.v1");
+  json.KV("scale", setup.paper ? 1.0 : setup.scale);
+  json.KV("months", static_cast<int64_t>(setup.months));
+  json.KV("seed", setup.seed);
+  json.Key("methods").BeginArray();
+  for (const auto& r : results) {
+    json.BeginObject();
+    json.KV("method", r.method);
+    json.KV("cr", r.run.final_metrics.cr);
+    json.KV("kcr", r.run.final_metrics.kcr);
+    json.KV("ndcg_cr", r.run.final_metrics.ndcg_cr);
+    json.Key("monthly_cumulative").BeginArray();
+    for (const auto& m : r.run.monthly) {
+      json.BeginObject();
+      json.KV("month", static_cast<int64_t>(m.month));
+      json.KV("cr", m.cumulative.cr);
+      json.KV("kcr", m.cumulative.kcr);
+      json.KV("ndcg_cr", m.cumulative.ndcg_cr);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  bench::EmitJson(json.str(), setup, "fig7_worker_benefit.json");
   return 0;
 }
 

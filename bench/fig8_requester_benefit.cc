@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 
 namespace crowdrl {
 namespace {
@@ -14,7 +15,9 @@ namespace {
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.2, 12);
-  const bool with_oracle = flags.GetBool("oracle", true);
+  const bool with_oracle = flags.GetBool(
+      "oracle", true, "include the clairvoyant oracle upper reference");
+  if (bench::HandleHelp(flags)) return 0;
 
   std::printf("fig8_requester_benefit: scale=%.2f months=%d seed=%llu\n",
               setup.paper ? 1.0 : setup.scale, setup.months,
@@ -67,6 +70,35 @@ int Main(int argc, char** argv) {
       "Fig 8 final values (paper: Random 2698/3598/3734 … DDQN "
       "3625/4943/5351)");
   bench::EmitCsv(final_table, setup, "fig8_final.csv");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "crowdrl.fig8_requester_benefit.v1");
+  json.KV("scale", setup.paper ? 1.0 : setup.scale);
+  json.KV("months", static_cast<int64_t>(setup.months));
+  json.KV("seed", setup.seed);
+  json.Key("methods").BeginArray();
+  for (const auto& r : results) {
+    json.BeginObject();
+    json.KV("method", r.method);
+    json.KV("qg", r.run.final_metrics.qg);
+    json.KV("kqg", r.run.final_metrics.kqg);
+    json.KV("ndcg_qg", r.run.final_metrics.ndcg_qg);
+    json.Key("monthly").BeginArray();
+    for (const auto& m : r.run.monthly) {
+      json.BeginObject();
+      json.KV("month", static_cast<int64_t>(m.month));
+      json.KV("month_qg", m.month_qg);
+      json.KV("month_kqg", m.month_kqg);
+      json.KV("month_ndcg_qg", m.month_ndcg_qg);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  bench::EmitJson(json.str(), setup, "fig8_requester_benefit.json");
   return 0;
 }
 

@@ -18,6 +18,7 @@ int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   bench::BenchSetup setup = bench::ParseSetup(flags, /*scale=*/0.12, 6);
   RunnerConfig cfg = bench::ParseRunnerSetup(flags, setup);
+  if (bench::HandleHelp(flags)) return 0;
   if (flags.Has("methods") || flags.Has("objective")) {
     std::fprintf(stderr,
                  "fig9_balance sweeps the aggregation weight of the "

@@ -1,0 +1,214 @@
+// Load-generates the asynchronous arrangement service: N actor threads
+// drive full rank→feedback interactions against one continuously-learning
+// framework (1 micro-batcher + 1 learner thread), reporting QPS and
+// p50/p95/p99 rank latency per actor count.
+//
+// This is the platform benchmark of the actor/learner split: the serial
+// framework serves exactly one worker at a time and its rank latency pays
+// for every gradient step; here ranking rides on published parameter
+// snapshots while the learner trails behind on its own thread.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "serve/service.h"
+#include "serve/workload.h"
+
+namespace crowdrl {
+namespace {
+
+struct SweepPoint {
+  int actors = 0;
+  int64_t arrivals = 0;
+  double wall_s = 0;
+  ServiceStats stats;
+};
+
+/// Every tunable of one sweep point, read from flags up front so the
+/// --help gate sees the complete registered surface.
+struct PointConfig {
+  size_t hidden = 32;
+  int learn_every = 16;
+  ServiceConfig service;
+
+  static PointConfig FromFlags(const CliFlags& flags) {
+    PointConfig cfg;
+    cfg.hidden = static_cast<size_t>(flags.GetInt(
+        "hidden", 32, "Q-network hidden width (serving-lean default)"));
+    cfg.learn_every = static_cast<int>(flags.GetInt(
+        "learn_every", 16, "learner step cadence in stored transitions"));
+    cfg.service.max_batch = static_cast<size_t>(flags.GetInt(
+        "max_batch", 16, "micro-batcher: max coalesced rank requests"));
+    cfg.service.batch_window_us = flags.GetInt(
+        "window_us", 200, "micro-batcher coalescing window (µs)");
+    cfg.service.flush_block_events = static_cast<size_t>(flags.GetInt(
+        "flush_block", 4, "feedback events per local-buffer flush block"));
+    cfg.service.publish_every_events = flags.GetInt(
+        "publish_every", 8, "snapshot publication cadence (feedback events)");
+    return cfg;
+  }
+};
+
+FrameworkConfig ServingFrameworkConfig(const PointConfig& point,
+                                       uint64_t seed) {
+  FrameworkConfig cfg = FrameworkConfig::Defaults();
+  for (DqnAgentConfig* dqn : {&cfg.worker_dqn, &cfg.requester_dqn}) {
+    dqn->net.hidden_dim = point.hidden;
+    dqn->net.num_heads = 4;
+    dqn->batch_size = 32;
+    dqn->learn_every = point.learn_every;
+    dqn->replay.capacity = 1000;
+  }
+  cfg.predictor.max_segments = 2;
+  cfg.max_failed_stored = 0;  // one transition per MDP per feedback
+  cfg.learn_from_history = false;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
+                    int actors, int64_t arrivals, uint64_t seed) {
+  TaskArrangementFramework framework(ServingFrameworkConfig(point, seed),
+                                     &workload,
+                                     workload.worker_feature_dim(),
+                                     workload.task_feature_dim());
+  ArrangementService service(&framework, point.service);
+  service.Start();
+
+  std::atomic<int64_t> arrival_counter{0};
+  std::atomic<int64_t> next_ticket{0};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int a = 0; a < actors; ++a) {
+    threads.emplace_back([&, a] {
+      Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(a + 1)));
+      auto session = service.NewSession();
+      while (true) {
+        const int64_t i = next_ticket.fetch_add(1);
+        if (i >= arrivals) break;
+        const Observation obs =
+            workload.MakeObservation(arrival_counter.fetch_add(1), &rng);
+        service.RecordArrival(obs);
+        ArrangementService::Ticket ticket;
+        const std::vector<int> ranking = session->Rank(obs, &ticket);
+        session->Feedback(obs, ticket, ranking,
+                          workload.SimulateFeedback(obs, ranking, &rng));
+      }
+      session->Flush();
+    });
+  }
+  for (auto& t : threads) t.join();
+  service.Stop();  // drains the learner
+
+  SweepPoint result;
+  result.actors = actors;
+  result.arrivals = arrivals;
+  result.wall_s = wall.ElapsedSeconds();
+  result.stats = service.stats();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const int64_t arrivals = flags.GetInt(
+      "arrivals", 100000, "arrivals driven through the service per point");
+  const std::string actors_csv = flags.GetString(
+      "actors", "4", "comma-separated actor-thread counts to sweep");
+  const uint64_t seed = static_cast<uint64_t>(
+      flags.GetInt("seed", 17, "master seed"));
+  const std::string out_dir =
+      flags.GetString("out", "results", "artifact output directory");
+
+  ServeWorkloadConfig wl_cfg;
+  wl_cfg.num_workers = static_cast<int>(
+      flags.GetInt("workers", 64, "worker population of the workload"));
+  wl_cfg.num_tasks = static_cast<int>(
+      flags.GetInt("tasks", 64, "task population of the workload"));
+  wl_cfg.pool_size = static_cast<int>(flags.GetInt(
+      "pool", 12, "available tasks per arrival (|T_i|)"));
+  wl_cfg.seed = seed ^ 0x5EEDULL;
+  const PointConfig point = PointConfig::FromFlags(flags);
+
+  std::vector<int> actor_counts;
+  for (size_t pos = 0; pos < actors_csv.size();) {
+    const size_t comma = actors_csv.find(',', pos);
+    const std::string tok = actors_csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const int n = std::atoi(tok.c_str());
+    if (n > 0) actor_counts.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (flags.HelpRequested()) {
+    flags.PrintHelp();
+    return 0;
+  }
+  if (actor_counts.empty()) {
+    std::fprintf(stderr, "--actors must name at least one positive count\n");
+    return 2;
+  }
+
+  std::printf("serve_throughput: arrivals=%lld actors={%s} pool=%d seed=%llu\n",
+              static_cast<long long>(arrivals), actors_csv.c_str(),
+              wl_cfg.pool_size, static_cast<unsigned long long>(seed));
+  const ServeWorkload workload(wl_cfg);
+
+  bench::BenchSetup setup;
+  setup.out_dir = out_dir;
+  Table t({"actors", "arrivals", "wall_s", "qps", "p50_ms", "p95_ms",
+           "p99_ms", "max_ms", "mean_batch", "events_learned"});
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "crowdrl.serve_throughput.v1");
+  json.KV("arrivals_per_point", arrivals);
+  json.KV("pool_size", static_cast<int64_t>(wl_cfg.pool_size));
+  json.KV("seed", seed);
+  json.Key("points").BeginArray();
+
+  for (int actors : actor_counts) {
+    std::printf("... actors=%d\n", actors);
+    std::fflush(stdout);
+    const SweepPoint p = RunPoint(point, workload, actors, arrivals, seed);
+    const double qps =
+        p.wall_s > 0 ? static_cast<double>(p.arrivals) / p.wall_s : 0.0;
+    t.AddRow({std::to_string(p.actors), std::to_string(p.arrivals),
+              Table::Num(p.wall_s, 2), Table::Num(qps, 1),
+              Table::Num(p.stats.rank_latency_p50_ms, 3),
+              Table::Num(p.stats.rank_latency_p95_ms, 3),
+              Table::Num(p.stats.rank_latency_p99_ms, 3),
+              Table::Num(p.stats.rank_latency_max_ms, 3),
+              Table::Num(p.stats.mean_batch_size, 2),
+              std::to_string(p.stats.events_processed)});
+    json.BeginObject();
+    json.KV("actors", static_cast<int64_t>(p.actors));
+    json.KV("arrivals", p.arrivals);
+    json.KV("wall_s", p.wall_s);
+    json.KV("qps", qps);
+    json.KV("rank_latency_mean_ms", p.stats.rank_latency_mean_ms);
+    json.KV("rank_latency_p50_ms", p.stats.rank_latency_p50_ms);
+    json.KV("rank_latency_p95_ms", p.stats.rank_latency_p95_ms);
+    json.KV("rank_latency_p99_ms", p.stats.rank_latency_p99_ms);
+    json.KV("rank_latency_max_ms", p.stats.rank_latency_max_ms);
+    json.KV("batches", p.stats.batches);
+    json.KV("mean_batch_size", p.stats.mean_batch_size);
+    json.KV("events_submitted", p.stats.events_submitted);
+    json.KV("events_processed", p.stats.events_processed);
+    json.KV("snapshot_version", p.stats.snapshot_version);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  t.Print("serve_throughput: QPS and rank-latency tail vs actor count");
+  bench::EmitJson(json.str(), setup, "serve_throughput.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace crowdrl
+
+int main(int argc, char** argv) { return crowdrl::Main(argc, argv); }

@@ -1,0 +1,123 @@
+#ifndef CROWDRL_COMMON_BOUNDED_QUEUE_H_
+#define CROWDRL_COMMON_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace crowdrl {
+
+/// \brief Bounded multi-producer/multi-consumer queue — the hand-off
+/// primitive of the asynchronous arrangement service (actor threads push
+/// rank requests and transition blocks; the batcher and learner threads
+/// drain them).
+///
+/// The bound is the service's backpressure mechanism: when the learner
+/// falls behind, producers block in Push instead of growing an unbounded
+/// backlog. Close() releases everyone — blocked producers return false,
+/// consumers drain whatever is left and then receive "empty".
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false iff the queue was
+  /// closed (the item is dropped).
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt iff the queue was
+  /// closed and fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Micro-batching pop: blocks until at least one item is available (or
+  /// the queue is closed and drained), then keeps draining up to
+  /// `max_items`, waiting at most `coalesce_us` microseconds for
+  /// stragglers to join the batch. Appends to `*out`; returns the number
+  /// of items appended (0 iff closed and drained).
+  size_t PopBatch(std::vector<T>* out, size_t max_items, int64_t coalesce_us) {
+    const size_t before = out->size();
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(coalesce_us);
+    for (;;) {
+      while (!items_.empty() && out->size() - before < max_items) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      if (out->size() - before >= max_items || closed_ || coalesce_us <= 0) {
+        break;
+      }
+      if (!not_empty_.wait_until(lk, deadline, [&] {
+            return !items_.empty() || closed_;
+          })) {
+        break;  // coalescing window elapsed
+      }
+      if (items_.empty()) break;  // woken by Close
+    }
+    lk.unlock();
+    not_full_.notify_all();
+    return out->size() - before;
+  }
+
+  /// Wakes every blocked producer (returns false) and consumer (drains,
+  /// then empty). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_COMMON_BOUNDED_QUEUE_H_

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace crowdrl {
@@ -26,29 +27,76 @@ bool CliFlags::Has(const std::string& key) const {
   return values_.count(key) > 0;
 }
 
+void CliFlags::Describe(const std::string& key, const std::string& type,
+                        const std::string& fallback,
+                        const std::string& help) const {
+  FlagDoc& doc = docs_[key];
+  doc.type = type;
+  doc.fallback = fallback;
+  if (!help.empty()) doc.help = help;
+}
+
 std::string CliFlags::GetString(const std::string& key,
-                                const std::string& fallback) const {
+                                const std::string& fallback,
+                                const std::string& help) const {
+  Describe(key, "string", fallback.empty() ? "\"\"" : fallback, help);
   auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
-double CliFlags::GetDouble(const std::string& key, double fallback) const {
+double CliFlags::GetDouble(const std::string& key, double fallback,
+                           const std::string& help) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", fallback);
+  Describe(key, "double", buf, help);
   auto it = values_.find(key);
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
                                                       nullptr);
 }
 
-int64_t CliFlags::GetInt(const std::string& key, int64_t fallback) const {
+int64_t CliFlags::GetInt(const std::string& key, int64_t fallback,
+                         const std::string& help) const {
+  Describe(key, "int", std::to_string(fallback), help);
   auto it = values_.find(key);
   return it == values_.end()
              ? fallback
              : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
-bool CliFlags::GetBool(const std::string& key, bool fallback) const {
+bool CliFlags::GetBool(const std::string& key, bool fallback,
+                       const std::string& help) const {
+  Describe(key, "bool", fallback ? "true" : "false", help);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool CliFlags::HelpRequested() const {
+  if (Has("help")) return true;
+  return std::find(positional_.begin(), positional_.end(), "-h") !=
+         positional_.end();
+}
+
+void CliFlags::PrintHelp(std::FILE* out) const {
+  std::fprintf(out, "usage: %s [--flag=value ...]\n\n",
+               program_.empty() ? "<binary>" : program_.c_str());
+  if (docs_.empty()) {
+    std::fprintf(out, "(this binary registered no flags)\n");
+    return;
+  }
+  size_t name_w = 4;
+  for (const auto& [key, doc] : docs_) {
+    name_w = std::max(name_w, key.size() + doc.type.size() + 3);
+  }
+  for (const auto& [key, doc] : docs_) {
+    const std::string head = "--" + key + "=<" + doc.type + ">";
+    std::fprintf(out, "  %-*s  (default %s)%s%s\n",
+                 static_cast<int>(name_w + 4), head.c_str(),
+                 doc.fallback.c_str(), doc.help.empty() ? "" : "  ",
+                 doc.help.c_str());
+  }
+  std::fprintf(out, "  %-*s  prints this flag surface and exits\n",
+               static_cast<int>(name_w + 4), "--help");
 }
 
 }  // namespace crowdrl

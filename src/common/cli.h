@@ -1,6 +1,7 @@
 #ifndef CROWDRL_COMMON_CLI_H_
 #define CROWDRL_COMMON_CLI_H_
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -10,6 +11,11 @@ namespace crowdrl {
 /// \brief Tiny `--key=value` / `--flag` command-line parser for the bench and
 /// example binaries. Unrecognized google-benchmark flags (`--benchmark_*`)
 /// are passed through untouched.
+///
+/// Every Get* lookup registers the flag (name, type, default, description)
+/// in a per-instance registry, so after a binary has read its flags the
+/// full surface is known and `--help` output can be generated from it —
+/// no separately maintained usage strings to drift out of date.
 class CliFlags {
  public:
   /// Parses argv; later duplicates win. Non-flag arguments are kept in
@@ -17,11 +23,27 @@ class CliFlags {
   CliFlags(int argc, char** argv);
 
   bool Has(const std::string& key) const;
-  std::string GetString(const std::string& key,
-                        const std::string& fallback) const;
-  double GetDouble(const std::string& key, double fallback) const;
-  int64_t GetInt(const std::string& key, int64_t fallback) const;
-  bool GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key, const std::string& fallback,
+                        const std::string& help = "") const;
+  double GetDouble(const std::string& key, double fallback,
+                   const std::string& help = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback,
+                 const std::string& help = "") const;
+  bool GetBool(const std::string& key, bool fallback,
+               const std::string& help = "") const;
+
+  /// Registers a flag in the help surface without reading it (for flags
+  /// whose value is consumed elsewhere, e.g. pass-through ones).
+  void Describe(const std::string& key, const std::string& type,
+                const std::string& fallback, const std::string& help) const;
+
+  /// True when `--help` (or `-h` as a positional) was passed. Call after
+  /// all Get* lookups so PrintHelp sees the complete flag surface.
+  bool HelpRequested() const;
+
+  /// Prints the registered flag surface: one line per flag with type,
+  /// default and description, sorted by name.
+  void PrintHelp(std::FILE* out = stdout) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -29,9 +51,18 @@ class CliFlags {
   const std::string& program() const { return program_; }
 
  private:
+  struct FlagDoc {
+    std::string type;
+    std::string fallback;
+    std::string help;
+  };
+
   std::string program_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  /// Lookup-time registration keeps Get* const for callers; the registry
+  /// is pure documentation state.
+  mutable std::map<std::string, FlagDoc> docs_;
 };
 
 }  // namespace crowdrl

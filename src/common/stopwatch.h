@@ -1,7 +1,11 @@
 #ifndef CROWDRL_COMMON_STOPWATCH_H_
 #define CROWDRL_COMMON_STOPWATCH_H_
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
 
 namespace crowdrl {
 
@@ -37,6 +41,89 @@ class MeanAccumulator {
  private:
   int64_t n_ = 0;
   double mean_ = 0;
+};
+
+/// \brief Bounded-memory percentile accumulator for latency statistics —
+/// a mean alone hides the tail, and a service's contract is its tail
+/// (p50/p95/p99 rank latency, Table-I style update times).
+///
+/// Keeps a systematically decimated sample of the series: every stride-th
+/// observation is retained, and when the buffer reaches `max_samples` every
+/// other retained sample is dropped and the stride doubles. Decimation is
+/// deterministic (no RNG) and exact until the cap is first hit; beyond it,
+/// percentiles are computed over an evenly spaced subsample of the stream.
+/// Mean/max/count always cover every observation. Not thread-safe — guard
+/// externally or keep one per producer.
+class PercentileAccumulator {
+ public:
+  explicit PercentileAccumulator(size_t max_samples = size_t{1} << 20)
+      : max_samples_(std::max<size_t>(2, max_samples)) {}
+
+  void Add(double x) {
+    mean_ += (x - mean_) / static_cast<double>(n_ + 1);
+    max_ = n_ == 0 ? x : std::max(max_, x);
+    if (n_ % stride_ == 0) {
+      samples_.push_back(x);
+      if (samples_.size() >= max_samples_) Compact();
+    }
+    ++n_;
+  }
+
+  /// The p-th percentile (p in [0, 100]) of the retained sample, with
+  /// linear interpolation between order statistics. 0 when empty.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    return PercentileOfSorted(sorted, p);
+  }
+
+  /// Several percentiles from one sort — consumers always want the whole
+  /// tail (p50/p95/p99) and the retained sample can be large.
+  std::vector<double> Percentiles(const std::vector<double>& ps) const {
+    std::vector<double> out(ps.size(), 0.0);
+    if (samples_.empty()) return out;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < ps.size(); ++i) {
+      out[i] = PercentileOfSorted(sorted, ps[i]);
+    }
+    return out;
+  }
+
+  double mean() const { return mean_; }
+  double max() const { return max_; }
+  int64_t count() const { return n_; }
+  size_t retained_samples() const { return samples_.size(); }
+  size_t stride() const { return stride_; }
+
+ private:
+  static double PercentileOfSorted(const std::vector<double>& sorted,
+                                   double p) {
+    const double clamped = std::min(100.0, std::max(0.0, p));
+    const double rank =
+        clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  void Compact() {
+    size_t kept = 0;
+    for (size_t i = 0; i < samples_.size(); i += 2) {
+      samples_[kept++] = samples_[i];
+    }
+    samples_.resize(kept);
+    stride_ *= 2;
+  }
+
+  size_t max_samples_;
+  size_t stride_ = 1;
+  int64_t n_ = 0;
+  double mean_ = 0;
+  double max_ = 0;
+  std::vector<double> samples_;
 };
 
 }  // namespace crowdrl

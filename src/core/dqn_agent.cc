@@ -37,29 +37,34 @@ double DqnAgent::ComputeTarget(float reward,
          config_.gamma * ComputeFutureValue(future);
 }
 
-double DqnAgent::ComputeFutureValue(const FutureStateSpec& future) const {
+double FutureValueUnder(const QNetView& view, const FutureStateSpec& future,
+                        bool double_q) {
   double expectation = 0;
   for (const auto& branch : future.branches) {
     for (const auto& [valid_n, prob] : branch.segments) {
       if (valid_n == 0 || prob <= 0) continue;
       const Matrix pool = branch.base.SliceRows(0, valid_n);
       double value;
-      if (config_.double_q) {
+      if (double_q) {
         // Double DQN: online net picks the action, target net scores it.
-        const auto online_q = online_.QValues(pool, valid_n);
+        const auto online_q = view.online->QValues(pool, valid_n);
         const size_t best =
             std::max_element(online_q.begin(), online_q.end()) -
             online_q.begin();
-        const auto target_q = target_.QValues(pool, valid_n);
+        const auto target_q = view.target->QValues(pool, valid_n);
         value = target_q[best];
       } else {
-        const auto target_q = target_.QValues(pool, valid_n);
+        const auto target_q = view.target->QValues(pool, valid_n);
         value = *std::max_element(target_q.begin(), target_q.end());
       }
       expectation += static_cast<double>(prob) * value;
     }
   }
   return expectation;
+}
+
+double DqnAgent::ComputeFutureValue(const FutureStateSpec& future) const {
+  return FutureValueUnder(View(), future, config_.double_q);
 }
 
 size_t DqnAgent::Store(Transition t) {
@@ -71,11 +76,7 @@ size_t DqnAgent::Store(Transition t) {
   return replay_.Add(std::move(t));
 }
 
-size_t DqnAgent::StoreWithFutureValue(Transition t, double future_value) {
-  if (!config_.recompute_targets_on_replay) {
-    t.target = static_cast<double>(t.reward) + config_.gamma * future_value;
-    t.future.Clear();
-  }
+size_t DqnAgent::StorePrepared(Transition t) {
   ++store_count_;
   return replay_.Add(std::move(t));
 }

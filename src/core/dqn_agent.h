@@ -10,6 +10,24 @@
 
 namespace crowdrl {
 
+/// \brief Read-only (online, target) network pair to score and bootstrap
+/// against — either a live agent's current nets or an immutable published
+/// snapshot of them (the arrangement service's actors never touch the
+/// learner's live parameters).
+struct QNetView {
+  const SetQNetwork* online = nullptr;
+  const SetQNetwork* target = nullptr;
+  explicit operator bool() const { return online != nullptr; }
+};
+
+/// The expectation-form future value
+///   Σ_branch Σ_segment prob × Q̃(s', argmax_{a'} Q(s', a'))
+/// evaluated against an explicit network pair. Shared by the live-agent
+/// path (DqnAgent::ComputeFutureValue) and the serving path, where targets
+/// are computed against a consistent parameter snapshot.
+double FutureValueUnder(const QNetView& view, const FutureStateSpec& future,
+                        bool double_q);
+
 /// Configuration of one DQN (there are two: Q-network(w) and Q-network(r)).
 /// Defaults follow Sec. VII-B1: buffer 1000, target copy every 100
 /// iterations, lr 1e-3, batch 64, γ = 0.3 (workers) / 0.5 (requesters).
@@ -73,8 +91,15 @@ class DqnAgent {
   /// longer needed. Returns the buffer slot.
   size_t Store(Transition t);
 
-  /// Stores with a pre-computed future value (skips ComputeFutureValue).
-  size_t StoreWithFutureValue(Transition t, double future_value);
+  /// Stores a transition whose target (or retained future spec, in
+  /// replay-recompute mode) was already prepared by the caller — the
+  /// learner-side half of the actor/learner split, where actors mint
+  /// transitions with snapshot-computed targets and the learner only
+  /// buffers and trains.
+  size_t StorePrepared(Transition t);
+
+  /// View of the current (online, target) parameters for const scoring.
+  QNetView View() const { return {&online_, &target_}; }
 
   /// Runs a learner step when the learn_every counter fires and the buffer
   /// has at least one batch. Returns whether a gradient step happened.

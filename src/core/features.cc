@@ -13,7 +13,8 @@ FeatureBuilder::FeatureBuilder(const FeatureConfig& config, size_t num_workers,
   CROWDRL_CHECK(config.num_categories > 0 && config.num_domains > 0 &&
                 config.award_buckets > 0);
   task_cache_.resize(num_tasks);
-  task_cached_.assign(num_tasks, 0);
+  task_cached_ = std::make_unique<std::atomic<uint8_t>[]>(num_tasks);
+  for (size_t i = 0; i < num_tasks; ++i) task_cached_[i] = 0;
   worker_history_.resize(num_workers);
   for (auto& h : worker_history_) {
     h.decayed_sum.assign(task_dim(), 0.0f);
@@ -36,26 +37,38 @@ int FeatureBuilder::AwardBucket(double award) const {
 const std::vector<float>& FeatureBuilder::TaskFeature(const Task& task) const {
   CROWDRL_CHECK(task.id >= 0 &&
                 task.id < static_cast<TaskId>(task_cache_.size()));
-  if (!task_cached_[task.id]) {
-    std::vector<float> f(task_dim(), 0.0f);
-    CROWDRL_CHECK(task.category >= 0 && task.category < config_.num_categories);
-    CROWDRL_CHECK(task.domain >= 0 && task.domain < config_.num_domains);
-    f[task.category] = 1.0f;
-    f[config_.num_categories + task.domain] = 1.0f;
-    f[config_.num_categories + config_.num_domains +
-      AwardBucket(task.award)] = 1.0f;
-    task_cache_[task.id] = std::move(f);
-    task_cached_[task.id] = 1;
+  // Double-checked fill: the acquire load pairs with the release store so
+  // concurrent readers either see the fully built feature or take the lock.
+  if (!task_cached_[task.id].load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(task_cache_mu_);
+    if (!task_cached_[task.id].load(std::memory_order_relaxed)) {
+      std::vector<float> f(task_dim(), 0.0f);
+      CROWDRL_CHECK(task.category >= 0 &&
+                    task.category < config_.num_categories);
+      CROWDRL_CHECK(task.domain >= 0 && task.domain < config_.num_domains);
+      f[task.category] = 1.0f;
+      f[config_.num_categories + task.domain] = 1.0f;
+      f[config_.num_categories + config_.num_domains +
+        AwardBucket(task.award)] = 1.0f;
+      task_cache_[task.id] = std::move(f);
+      task_cached_[task.id].store(1, std::memory_order_release);
+    }
   }
   return task_cache_[task.id];
 }
 
-void FeatureBuilder::DecayTo(WorkerHistory* h, SimTime now) const {
-  if (now <= h->last_update) return;
-  const double dt_days = static_cast<double>(now - h->last_update) /
+double FeatureBuilder::DecayFactor(const WorkerHistory& h,
+                                   SimTime now) const {
+  if (now <= h.last_update) return 1.0;
+  const double dt_days = static_cast<double>(now - h.last_update) /
                          static_cast<double>(kMinutesPerDay);
-  const double factor =
-      std::exp(-0.6931471805599453 * dt_days / config_.history_halflife_days);
+  return std::exp(-0.6931471805599453 * dt_days /
+                  config_.history_halflife_days);
+}
+
+void FeatureBuilder::DecayTo(WorkerHistory* h, SimTime now) {
+  if (now <= h->last_update) return;
+  const double factor = DecayFactor(*h, now);
   for (auto& v : h->decayed_sum) v = static_cast<float>(v * factor);
   h->total_weight *= factor;
   h->last_update = now;
@@ -76,11 +89,19 @@ void FeatureBuilder::WorkerFeatureInto(WorkerId worker, SimTime now,
                                        std::vector<float>* out) const {
   CROWDRL_CHECK(worker >= 0 &&
                 worker < static_cast<WorkerId>(worker_history_.size()));
-  WorkerHistory& h = worker_history_[worker];
-  DecayTo(&h, now);
-  out->assign(h.decayed_sum.begin(), h.decayed_sum.end());
+  const WorkerHistory& h = worker_history_[worker];
+  // Query-time decay is applied on the fly and never written back: const
+  // reads stay pure so concurrent serving threads need no locks. (The L1
+  // normalization cancels the uniform decay of the components; the factor
+  // only decides whether the history has decayed to cold.)
+  const double factor = DecayFactor(h, now);
+  out->resize(h.decayed_sum.size());
   double sum = 0;
-  for (float v : *out) sum += v;
+  for (size_t i = 0; i < h.decayed_sum.size(); ++i) {
+    const float v = static_cast<float>(h.decayed_sum[i] * factor);
+    (*out)[i] = v;
+    sum += v;
+  }
   if (sum > 1e-9) {
     const float inv = static_cast<float>(1.0 / sum);
     for (auto& v : *out) v *= inv;
@@ -113,9 +134,8 @@ double FeatureBuilder::WorkerHistoryWeight(WorkerId worker,
                                            SimTime now) const {
   CROWDRL_CHECK(worker >= 0 &&
                 worker < static_cast<WorkerId>(worker_history_.size()));
-  WorkerHistory& h = worker_history_[worker];
-  DecayTo(&h, now);
-  return h.total_weight;
+  const WorkerHistory& h = worker_history_[worker];
+  return h.total_weight * DecayFactor(h, now);
 }
 
 }  // namespace crowdrl

@@ -1,6 +1,9 @@
 #ifndef CROWDRL_CORE_FEATURES_H_
 #define CROWDRL_CORE_FEATURES_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/sim_clock.h"
@@ -31,11 +34,17 @@ struct FeatureConfig {
 /// Worker feature (dynamic): the exponentially-decayed, L1-normalized sum of
 /// the features of the tasks the worker recently completed — i.e. the
 /// "distribution of recently completed tasks" of Sec. IV-A2, updated in
-/// real time by `RecordCompletion` and queried lazily with decay-to-now.
+/// real time by `RecordCompletion` and queried with decay-to-now.
 ///
 /// One FeatureBuilder is shared by *all* policies in an experiment ("the
 /// worker and task features of all these methods are updated in real-time"),
 /// so no method gains an information advantage.
+///
+/// Thread-safety: every const query is a pure read (query-time decay is
+/// applied on the fly, never written back, and the task cache fill is
+/// internally synchronized), so any number of serving actor threads can
+/// read concurrently. Writers (`RecordCompletion`) must be externally
+/// serialized against each other and against readers.
 class FeatureBuilder {
  public:
   FeatureBuilder(const FeatureConfig& config, size_t num_workers,
@@ -77,17 +86,23 @@ class FeatureBuilder {
 
  private:
   struct WorkerHistory {
-    std::vector<float> decayed_sum;  // unnormalized
+    std::vector<float> decayed_sum;  // unnormalized, decayed to last_update
     SimTime last_update = 0;
     double total_weight = 0;
   };
 
-  void DecayTo(WorkerHistory* h, SimTime now) const;
+  /// Decay multiplier from `h`'s last update to `now` (1.0 if not later).
+  double DecayFactor(const WorkerHistory& h, SimTime now) const;
+  /// Writes the decay into the history (RecordCompletion only).
+  void DecayTo(WorkerHistory* h, SimTime now);
 
   FeatureConfig config_;
+  // Lazy per-task fill under double-checked locking: the flag is the
+  // publication point, the mutex serializes first fills.
   mutable std::vector<std::vector<float>> task_cache_;
-  mutable std::vector<uint8_t> task_cached_;
-  mutable std::vector<WorkerHistory> worker_history_;
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> task_cached_;
+  mutable std::mutex task_cache_mu_;
+  std::vector<WorkerHistory> worker_history_;
 };
 
 }  // namespace crowdrl

@@ -79,58 +79,60 @@ void TaskArrangementFramework::OnArrival(const Observation& obs) {
   arrivals_.RecordArrival(obs.worker, obs.time);
 }
 
-std::vector<double> TaskArrangementFramework::CombinedScores(
+ScoringView TaskArrangementFramework::LiveView() const {
+  ScoringView view;
+  if (worker_agent_) view.worker = worker_agent_->View();
+  if (requester_agent_) view.requester = requester_agent_->View();
+  return view;
+}
+
+DecisionContext TaskArrangementFramework::BuildDecision(
     const Observation& obs) const {
-  if (obs.tasks.empty()) return {};
+  DecisionContext ctx;
+  if (use_worker_net()) ctx.worker_built = worker_state_.Build(obs);
+  if (use_requester_net()) ctx.requester_built = requester_state_.Build(obs);
+  if (use_worker_net() && use_requester_net()) {
+    CROWDRL_CHECK(ctx.worker_built.row_to_task ==
+                  ctx.requester_built.row_to_task);
+  }
+  const std::vector<int>& row_to_task = use_worker_net()
+                                            ? ctx.worker_built.row_to_task
+                                            : ctx.requester_built.row_to_task;
+  ctx.task_to_row.assign(obs.tasks.size(), -1);
+  for (size_t row = 0; row < row_to_task.size(); ++row) {
+    ctx.task_to_row[row_to_task[row]] = static_cast<int>(row);
+  }
+  return ctx;
+}
+
+std::vector<double> TaskArrangementFramework::ScoreDecision(
+    const DecisionContext& ctx, const ScoringView& view) const {
   std::vector<double> qw, qr;
-  size_t n = 0;
   if (use_worker_net()) {
-    const BuiltState s = worker_state_.Build(obs);
-    qw = worker_agent_->Scores(s.matrix, s.valid_n);
-    n = qw.size();
+    qw = view.worker.online->QValues(ctx.worker_built.matrix,
+                                     ctx.worker_built.valid_n);
   }
   if (use_requester_net()) {
-    const BuiltState s = requester_state_.Build(obs);
-    qr = requester_agent_->Scores(s.matrix, s.valid_n);
-    n = qr.size();
+    qr = view.requester.online->QValues(ctx.requester_built.matrix,
+                                        ctx.requester_built.valid_n);
   }
   if (qw.empty()) return qr;
   if (qr.empty()) return qw;
-  (void)n;
   return aggregator_.Combine(qw, qr);
 }
 
-std::vector<int> TaskArrangementFramework::Rank(const Observation& obs) {
+std::vector<double> TaskArrangementFramework::CombinedScores(
+    const Observation& obs) const {
   if (obs.tasks.empty()) return {};
+  return ScoreDecision(BuildDecision(obs), LiveView());
+}
 
-  Pending pending;
-  std::vector<double> qw, qr;
-  if (use_worker_net()) {
-    pending.worker_built = worker_state_.Build(obs);
-    qw = worker_agent_->Scores(pending.worker_built.matrix,
-                               pending.worker_built.valid_n);
-  }
-  if (use_requester_net()) {
-    pending.requester_built = requester_state_.Build(obs);
-    qr = requester_agent_->Scores(pending.requester_built.matrix,
-                                  pending.requester_built.valid_n);
-  }
+std::vector<int> TaskArrangementFramework::RankDecision(
+    const Observation& obs, const DecisionContext& ctx,
+    const std::vector<double>& combined) {
   const std::vector<int>& row_to_task = use_worker_net()
-                                            ? pending.worker_built.row_to_task
-                                            : pending.requester_built.row_to_task;
-  if (use_worker_net() && use_requester_net()) {
-    CROWDRL_CHECK(pending.worker_built.row_to_task ==
-                  pending.requester_built.row_to_task);
-  }
-  std::vector<double> combined;
-  if (qw.empty()) {
-    combined = std::move(qr);
-  } else if (qr.empty()) {
-    combined = std::move(qw);
-  } else {
-    combined = aggregator_.Combine(qw, qr);
-  }
-
+                                            ? ctx.worker_built.row_to_task
+                                            : ctx.requester_built.row_to_task;
   // Explore: ε-greedy for single assignment, Gaussian Q-noise for lists.
   std::vector<int> row_order;
   if (config_.action_mode == ActionMode::kAssignOne) {
@@ -155,12 +157,15 @@ std::vector<int> TaskArrangementFramework::Rank(const Observation& obs) {
   for (size_t i = 0; i < obs.tasks.size(); ++i) {
     if (!in_state[i]) ranking.push_back(static_cast<int>(i));
   }
+  return ranking;
+}
 
-  pending.task_to_row.assign(obs.tasks.size(), -1);
-  for (size_t row = 0; row < row_to_task.size(); ++row) {
-    pending.task_to_row[row_to_task[row]] = static_cast<int>(row);
-  }
-  pending_[obs.arrival_index] = std::move(pending);
+std::vector<int> TaskArrangementFramework::Rank(const Observation& obs) {
+  if (obs.tasks.empty()) return {};
+  DecisionContext ctx = BuildDecision(obs);
+  const std::vector<double> combined = ScoreDecision(ctx, LiveView());
+  std::vector<int> ranking = RankDecision(obs, ctx, combined);
+  pending_[obs.arrival_index] = std::move(ctx);
   // Bound the backlog: decisions whose feedback never arrives (e.g. a
   // worker who walked away in the delayed-feedback scenario) are dropped
   // oldest-first.
@@ -195,64 +200,70 @@ std::vector<std::pair<int, float>> TaskArrangementFramework::ExaminedOutcomes(
   return outcomes;
 }
 
-void TaskArrangementFramework::StoreWorkerTransitions(
-    const Observation& obs, const BuiltState& state,
-    const std::vector<int>& task_to_row, const std::vector<int>& ranking,
-    const Feedback& feedback) {
-  // Post-feedback worker feature (the FeatureBuilder was already updated by
-  // the harness) and post-completion task qualities.
-  const auto updated_fw = env_->features().WorkerFeature(obs.worker, obs.time);
-  FutureStateSpec future = predictor_w_.PredictSameWorker(
-      obs, updated_fw, obs.worker_quality, arrivals_);
-  const double future_value = worker_agent_->ComputeFutureValue(future);
+TransitionBlocks TaskArrangementFramework::MakeTransitions(
+    const Observation& obs, const DecisionContext& ctx,
+    const std::vector<int>& ranking, const Feedback& feedback,
+    const ScoringView& view) const {
+  TransitionBlocks blocks;
 
-  for (const auto& [task_idx, reward] :
-       ExaminedOutcomes(ranking, feedback, /*quality_reward=*/false)) {
-    const int row = task_to_row[task_idx];
-    if (row < 0) continue;  // task was truncated out of the state
-    Transition t;
-    t.state = state.matrix;
-    t.valid_n = state.valid_n;
-    t.action_row = row;
-    t.reward = reward;
-    if (worker_agent_->config().recompute_targets_on_replay) {
-      t.future = future;  // keep the spec alive for replay-time targets
-      worker_agent_->Store(std::move(t));
-    } else {
-      worker_agent_->StoreWithFutureValue(std::move(t), future_value);
+  auto mint = [&](const BuiltState& state, const FutureStateSpec& future,
+                  const DqnAgentConfig& agent_cfg, const QNetView& nets,
+                  bool quality_reward, std::vector<Transition>* out) {
+    // The future value is shared by every transition of the event — the
+    // framework evaluates it once and derives each target as r + γ·value.
+    const bool recompute = agent_cfg.recompute_targets_on_replay;
+    const double future_value =
+        recompute ? 0.0 : FutureValueUnder(nets, future, agent_cfg.double_q);
+    for (const auto& [task_idx, reward] :
+         ExaminedOutcomes(ranking, feedback, quality_reward)) {
+      const int row = ctx.task_to_row[task_idx];
+      if (row < 0) continue;  // task was truncated out of the state
+      Transition t;
+      t.state = state.matrix;
+      t.valid_n = state.valid_n;
+      t.action_row = row;
+      t.reward = reward;
+      if (recompute) {
+        t.future = future;  // keep the spec alive for replay-time targets
+      } else {
+        t.target = static_cast<double>(reward) +
+                   agent_cfg.gamma * future_value;
+      }
+      out->push_back(std::move(t));
     }
-    worker_agent_->MaybeLearn();
+  };
+
+  if (use_worker_net()) {
+    // Post-feedback worker feature (the FeatureBuilder was already updated
+    // by the harness/caller) and post-completion task qualities.
+    const auto updated_fw =
+        env_->features().WorkerFeature(obs.worker, obs.time);
+    const FutureStateSpec future = predictor_w_.PredictSameWorker(
+        obs, updated_fw, obs.worker_quality, arrivals_);
+    mint(ctx.worker_built, future, config_.worker_dqn, view.worker,
+         /*quality_reward=*/false, &blocks.worker);
   }
+  if (use_requester_net()) {
+    // Post-completion task qualities for the future state rows.
+    std::vector<double> quality_now(obs.tasks.size());
+    for (size_t i = 0; i < obs.tasks.size(); ++i) {
+      quality_now[i] = env_->TaskQuality(obs.tasks[i].id);
+    }
+    const FutureStateSpec future =
+        predictor_r_.PredictNextWorker(obs, arrivals_, *env_, &quality_now);
+    mint(ctx.requester_built, future, config_.requester_dqn, view.requester,
+         /*quality_reward=*/true, &blocks.requester);
+  }
+  return blocks;
 }
 
-void TaskArrangementFramework::StoreRequesterTransitions(
-    const Observation& obs, const BuiltState& state,
-    const std::vector<int>& task_to_row, const std::vector<int>& ranking,
-    const Feedback& feedback) {
-  // Post-completion task qualities for the future state rows.
-  std::vector<double> quality_now(obs.tasks.size());
-  for (size_t i = 0; i < obs.tasks.size(); ++i) {
-    quality_now[i] = env_->TaskQuality(obs.tasks[i].id);
+void TaskArrangementFramework::ApplyTransitions(TransitionBlocks blocks) {
+  for (Transition& t : blocks.worker) {
+    worker_agent_->StorePrepared(std::move(t));
+    worker_agent_->MaybeLearn();
   }
-  FutureStateSpec future =
-      predictor_r_.PredictNextWorker(obs, arrivals_, *env_, &quality_now);
-  const double future_value = requester_agent_->ComputeFutureValue(future);
-
-  for (const auto& [task_idx, reward] :
-       ExaminedOutcomes(ranking, feedback, /*quality_reward=*/true)) {
-    const int row = task_to_row[task_idx];
-    if (row < 0) continue;
-    Transition t;
-    t.state = state.matrix;
-    t.valid_n = state.valid_n;
-    t.action_row = row;
-    t.reward = reward;
-    if (requester_agent_->config().recompute_targets_on_replay) {
-      t.future = future;
-      requester_agent_->Store(std::move(t));
-    } else {
-      requester_agent_->StoreWithFutureValue(std::move(t), future_value);
-    }
+  for (Transition& t : blocks.requester) {
+    requester_agent_->StorePrepared(std::move(t));
     requester_agent_->MaybeLearn();
   }
 }
@@ -264,15 +275,8 @@ void TaskArrangementFramework::OnFeedback(const Observation& obs,
   if (it == pending_.end()) {
     return;  // feedback for a decision we did not make (defensive)
   }
-  const Pending& pending = it->second;
-  if (use_worker_net()) {
-    StoreWorkerTransitions(obs, pending.worker_built, pending.task_to_row,
-                           ranking, feedback);
-  }
-  if (use_requester_net()) {
-    StoreRequesterTransitions(obs, pending.requester_built,
-                              pending.task_to_row, ranking, feedback);
-  }
+  ApplyTransitions(
+      MakeTransitions(obs, it->second, ranking, feedback, LiveView()));
   pending_.erase(it);
 }
 
@@ -292,22 +296,9 @@ void TaskArrangementFramework::OnHistory(const Observation& obs,
     feedback.completed_index = browse_order[completed_pos];
     feedback.quality_gain = quality_gain;
   }
-  auto task_to_row_of = [&](const BuiltState& s) {
-    std::vector<int> task_to_row(obs.tasks.size(), -1);
-    for (size_t r = 0; r < s.row_to_task.size(); ++r) {
-      task_to_row[s.row_to_task[r]] = static_cast<int>(r);
-    }
-    return task_to_row;
-  };
-  if (use_worker_net()) {
-    const BuiltState s = worker_state_.Build(obs);
-    StoreWorkerTransitions(obs, s, task_to_row_of(s), browse_order, feedback);
-  }
-  if (use_requester_net()) {
-    const BuiltState s = requester_state_.Build(obs);
-    StoreRequesterTransitions(obs, s, task_to_row_of(s), browse_order,
-                              feedback);
-  }
+  const DecisionContext ctx = BuildDecision(obs);
+  ApplyTransitions(
+      MakeTransitions(obs, ctx, browse_order, feedback, LiveView()));
 }
 
 void TaskArrangementFramework::OnInitEnd() {

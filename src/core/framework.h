@@ -50,6 +50,40 @@ struct FrameworkConfig {
   static FrameworkConfig Defaults();
 };
 
+/// \brief Everything the framework computed at decision (Rank) time that
+/// feedback-time learning needs again: the built set-states per MDP plus
+/// the task↔row mapping. The serial framework keeps these in its pending
+/// map; the arrangement service hands them back to the caller as a ticket
+/// so concurrent sessions never share decision state.
+struct DecisionContext {
+  BuiltState worker_built;
+  BuiltState requester_built;
+  /// row index within the built state per obs.tasks index (-1 if the task
+  /// was truncated away by maxT).
+  std::vector<int> task_to_row;
+};
+
+/// \brief The networks a decision is scored (and its Bellman targets
+/// bootstrapped) against: the live agents' current parameters in the
+/// serial path, or an immutable published snapshot in the serving path.
+/// A view is unset (null) when the objective disables that MDP's network.
+struct ScoringView {
+  QNetView worker;
+  QNetView requester;
+};
+
+/// \brief The transitions minted from one feedback event, per MDP.
+/// Producing them (MakeTransitions — const, snapshot-scored) is separated
+/// from consuming them (ApplyTransitions — learner-state mutation), which
+/// is what lets an asynchronous service mint experience on actor threads
+/// and train on a dedicated learner thread.
+struct TransitionBlocks {
+  std::vector<Transition> worker;
+  std::vector<Transition> requester;
+  bool empty() const { return worker.empty() && requester.empty(); }
+  size_t size() const { return worker.size() + requester.size(); }
+};
+
 /// \brief The paper's end-to-end Deep-RL task-arrangement framework —
 /// Fig. 2 in executable form.
 ///
@@ -97,6 +131,54 @@ class TaskArrangementFramework : public Policy {
   /// and the ablation benches.
   std::vector<double> CombinedScores(const Observation& obs) const;
 
+  // ---- Decision primitives (the actor/learner split surface) ----
+  //
+  // Rank(obs) ≡ RankDecision(obs, ctx, ScoreDecision(ctx, LiveView()))
+  // with ctx = BuildDecision(obs) kept in the pending map, and
+  // OnFeedback ≡ ApplyTransitions(MakeTransitions(..., LiveView())).
+  // The service calls the same primitives with a published snapshot view
+  // instead of LiveView() so actor threads never read live parameters.
+  //
+  // Thread-safety contract: BuildDecision / ScoreDecision / MakeTransitions
+  // are const and touch only (a) the observation, (b) the view's networks,
+  // (c) the EnvView and the arrival statistics — (c) must be externally
+  // synchronized against writers. RankDecision mutates the exploration
+  // state (single decision thread). ApplyTransitions mutates the agents
+  // (single learner thread).
+
+  /// Builds the per-MDP set-states and the task↔row mapping for one
+  /// observation. Pure with respect to the framework.
+  DecisionContext BuildDecision(const Observation& obs) const;
+
+  /// Combined (aggregated) scores of a built decision against `view`.
+  std::vector<double> ScoreDecision(const DecisionContext& ctx,
+                                    const ScoringView& view) const;
+
+  /// Turns combined scores into a full ranking of obs.tasks indices,
+  /// injecting the annealed exploration. Mutates the explorer — call from
+  /// exactly one thread (the serial caller or the service's batcher).
+  std::vector<int> RankDecision(const Observation& obs,
+                                const DecisionContext& ctx,
+                                const std::vector<double>& combined);
+
+  /// Quantifies one feedback event into prioritized-replay-ready
+  /// transitions, Bellman targets computed against `view`. Const: reads
+  /// the env (post-feedback features/qualities) and arrival statistics but
+  /// mutates nothing.
+  TransitionBlocks MakeTransitions(const Observation& obs,
+                                   const DecisionContext& ctx,
+                                   const std::vector<int>& ranking,
+                                   const Feedback& feedback,
+                                   const ScoringView& view) const;
+
+  /// Learner-side consumption: stores each transition and fires the
+  /// per-transition learner cadence, exactly like the serial per-feedback
+  /// update loop.
+  void ApplyTransitions(TransitionBlocks blocks);
+
+  /// View over the live agents' current networks.
+  ScoringView LiveView() const;
+
   /// Persists the learned state (both online Q-networks and the arrival
   /// statistics) so an arrangement service survives process restarts
   /// without forgetting months of online learning. Replay memories are
@@ -114,20 +196,6 @@ class TaskArrangementFramework : public Policy {
   bool use_requester_net() const {
     return config_.objective != Objective::kWorkerBenefit;
   }
-
-  /// Stores the MDP(w) transitions arising from one feedback event.
-  /// `task_to_row` maps obs.tasks indices to rows of `state` (-1 if the
-  /// task was truncated away by maxT).
-  void StoreWorkerTransitions(const Observation& obs, const BuiltState& state,
-                              const std::vector<int>& task_to_row,
-                              const std::vector<int>& ranking,
-                              const Feedback& feedback);
-  /// Stores the MDP(r) transitions arising from one feedback event.
-  void StoreRequesterTransitions(const Observation& obs,
-                                 const BuiltState& state,
-                                 const std::vector<int>& task_to_row,
-                                 const std::vector<int>& ranking,
-                                 const Feedback& feedback);
 
   /// Positions of `ranking` the worker actually examined under the cascade
   /// model (prefix up to and including the completed one, the whole list on
@@ -153,14 +221,7 @@ class TaskArrangementFramework : public Policy {
   /// so that *delayed* feedback (the paper's future-work scenario: a worker
   /// arrives while previous workers are still completing their tasks) can
   /// settle out of order; bounded so abandoned decisions don't accumulate.
-  struct Pending {
-    BuiltState worker_built;
-    BuiltState requester_built;
-    /// row index within the built state per obs.tasks index (-1 if the
-    /// task was truncated away by maxT).
-    std::vector<int> task_to_row;
-  };
-  std::map<int64_t, Pending> pending_;
+  std::map<int64_t, DecisionContext> pending_;
 };
 
 }  // namespace crowdrl

@@ -79,7 +79,8 @@ RunResult ReplayHarness::Run(Policy* policy) {
   const SimTime init_end = dataset_->InitEndTime();
   MetricsTracker metrics(config_.top_k);
   RunResult result;
-  MeanAccumulator feedback_time, dayend_time, rank_time;
+  MeanAccumulator feedback_time, dayend_time;
+  PercentileAccumulator rank_time;
 
   // Delayed-feedback queue (Sec. IX scenario); empty in instant mode.
   std::deque<PendingFeedback> settlement_queue;
@@ -249,6 +250,10 @@ RunResult ReplayHarness::Run(Policy* policy) {
   result.mean_feedback_update_s = feedback_time.mean();
   result.mean_dayend_update_s = dayend_time.mean();
   result.mean_rank_s = rank_time.mean();
+  const std::vector<double> rank_tail = rank_time.Percentiles({50, 95, 99});
+  result.rank_p50_s = rank_tail[0];
+  result.rank_p95_s = rank_tail[1];
+  result.rank_p99_s = rank_tail[2];
   result.reported_update_s =
       std::max(result.mean_feedback_update_s, result.mean_dayend_update_s);
   return result;

@@ -52,6 +52,11 @@ struct RunResult {
   double mean_dayend_update_s = 0;
   /// Mean wall-clock seconds to produce one ranking (inference latency).
   double mean_rank_s = 0;
+  /// Rank-latency tail: the mean hides it, and a serving system's contract
+  /// is its tail. Percentiles over all evaluated arrivals.
+  double rank_p50_s = 0;
+  double rank_p95_s = 0;
+  double rank_p99_s = 0;
   /// The "model update time" in the sense of Table I: per-feedback for RL
   /// methods, per-day-retrain for supervised methods (whichever dominates).
   double reported_update_s = 0;

@@ -481,14 +481,16 @@ Result<RunnerConfig> RunnerConfigFromFlags(const CliFlags& flags,
     cfg.experiment.UsePaperScale();
   }
 
-  cfg.num_seeds = static_cast<int>(flags.GetInt("seeds", cfg.num_seeds));
+  cfg.num_seeds = static_cast<int>(flags.GetInt(
+      "seeds", cfg.num_seeds, "independent seeds per grid cell"));
   if (cfg.num_seeds <= 0) {
     return Status::InvalidArgument("--seeds must be positive");
   }
   cfg.base_seed = static_cast<uint64_t>(
       flags.GetInt("seed", static_cast<int64_t>(cfg.base_seed)));
   const int64_t threads =
-      flags.GetInt("threads", static_cast<int64_t>(cfg.num_threads));
+      flags.GetInt("threads", static_cast<int64_t>(cfg.num_threads),
+                   "0 = all cores, 1 = serial, n = dedicated pool");
   if (threads < 0 || threads > 4096) {
     return Status::InvalidArgument(
         "--threads must be in [0, 4096] (0 = all cores)");
@@ -498,11 +500,13 @@ Result<RunnerConfig> RunnerConfigFromFlags(const CliFlags& flags,
   if (flags.Has("objective")) {
     CROWDRL_ASSIGN_OR_RETURN(
         cfg.objective,
-        ParseObjective(flags.GetString("objective", "worker")));
+        ParseObjective(flags.GetString("objective", "worker",
+                                       "worker | requester | balanced")));
   }
 
   if (flags.Has("methods")) {
-    cfg.methods = SplitCommaList(flags.GetString("methods", ""));
+    cfg.methods = SplitCommaList(flags.GetString(
+        "methods", "", "comma list: random,taskrec,greedy_cs,greedy_nn,linucb,ddqn,oracle"));
     if (cfg.methods.empty()) {
       return Status::InvalidArgument("--methods must name at least one");
     }
@@ -526,7 +530,8 @@ Result<RunnerConfig> RunnerConfigFromFlags(const CliFlags& flags,
 
   if (flags.Has("scenarios")) {
     cfg.scenarios.clear();
-    const std::string list = flags.GetString("scenarios", "baseline");
+    const std::string list = flags.GetString(
+        "scenarios", "baseline", "comma list of named scenario overlays");
     if (list == "all") {
       cfg.scenarios = BuiltinScenarios();
     } else {

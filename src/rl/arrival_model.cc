@@ -19,6 +19,7 @@ GapHistogram::GapHistogram(SimTime min_gap, SimTime max_gap, SimTime bin_width,
   const size_t bins =
       static_cast<size_t>((max_gap - min_gap + bin_width) / bin_width);
   counts_.assign(bins, 0.0);
+  RebuildCdf();
 }
 
 size_t GapHistogram::BinOf(SimTime g) const {
@@ -34,22 +35,25 @@ void GapHistogram::Add(SimTime gap, double weight) {
   }
   counts_[BinOf(gap)] += weight;
   in_support_ += weight;
-  cdf_dirty_ = true;
+  // Keep the CDF eagerly consistent: const queries stay pure reads, which
+  // is what lets concurrent predictor threads share the histogram under a
+  // reader lock. The full prefix-sum rebuild (not an incremental suffix
+  // add) keeps the float rounding identical to a checkpoint-restored
+  // histogram, preserving the restore-bit-determinism contract.
+  RebuildCdf();
 }
 
-void GapHistogram::RebuildCdf() const {
+void GapHistogram::RebuildCdf() {
   cdf_.resize(counts_.size());
   double acc = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     acc += counts_[i] + laplace_;
     cdf_[i] = acc;
   }
-  cdf_dirty_ = false;
 }
 
 double GapHistogram::Prob(SimTime g) const {
   if (g < min_gap_ || g > max_gap_) return 0.0;
-  if (cdf_dirty_) RebuildCdf();
   const double total = cdf_.back();
   if (total <= 0) return 0.0;
   return (counts_[BinOf(g)] + laplace_) / total;
@@ -64,7 +68,6 @@ double GapHistogram::MassBetween(SimTime lo, SimTime hi) const {
   lo = std::max(lo, min_gap_);
   hi = std::min(hi, max_gap_);
   if (hi < lo) return 0.0;
-  if (cdf_dirty_) RebuildCdf();
   const double total = cdf_.back();
   if (total <= 0) return 0.0;
   const size_t blo = BinOf(lo);
@@ -76,7 +79,6 @@ double GapHistogram::MassBetween(SimTime lo, SimTime hi) const {
 double GapHistogram::MassBefore(SimTime g) const {
   if (g <= min_gap_) return 0.0;
   if (g > max_gap_) return 1.0;
-  if (cdf_dirty_) RebuildCdf();
   const double total = cdf_.back();
   if (total <= 0) return 0.0;
   const size_t bin = BinOf(g);
@@ -88,7 +90,6 @@ double GapHistogram::MassBefore(SimTime g) const {
 }
 
 double GapHistogram::Mean() const {
-  if (cdf_dirty_) RebuildCdf();
   const double total = cdf_.back();
   if (total <= 0) {
     return static_cast<double>(min_gap_ + max_gap_) / 2.0;
@@ -104,7 +105,6 @@ double GapHistogram::Mean() const {
 }
 
 SimTime GapHistogram::SampleGap(Rng* rng) const {
-  if (cdf_dirty_) RebuildCdf();
   const double total = cdf_.back();
   if (total <= 0) {
     return rng->UniformInt(min_gap_, max_gap_);
@@ -164,7 +164,7 @@ Status GapHistogram::Load(std::istream* is) {
   is->read(reinterpret_cast<char*>(counts_.data()),
            static_cast<std::streamsize>(n * sizeof(double)));
   if (!is->good()) return Status::IoError("gap histogram payload failed");
-  cdf_dirty_ = true;
+  RebuildCdf();
   return Status::OK();
 }
 

@@ -68,16 +68,18 @@ class GapHistogram {
 
  private:
   size_t BinOf(SimTime g) const;
-  void RebuildCdf() const;
+  void RebuildCdf();
 
   SimTime min_gap_, max_gap_, bin_width_;
   double laplace_;
   std::vector<double> counts_;
   double in_support_ = 0;
   double out_of_support_ = 0;
-  // CDF cache, rebuilt lazily after updates.
-  mutable std::vector<double> cdf_;
-  mutable bool cdf_dirty_ = true;
+  // CDF, maintained eagerly by Add/Load so that every const query is a
+  // pure read — concurrent readers (the arrangement service's actor
+  // threads predict future states under a shared lock) need no hidden
+  // cache rebuilds.
+  std::vector<double> cdf_;
 };
 
 /// Tuning knobs for the arrival statistics.

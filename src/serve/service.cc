@@ -1,0 +1,304 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace crowdrl {
+
+ArrangementService::ArrangementService(TaskArrangementFramework* framework,
+                                       const ServiceConfig& config)
+    : framework_(framework),
+      config_(config),
+      request_queue_(config.request_queue_capacity),
+      learner_queue_(config.learner_queue_capacity),
+      rank_latency_(config.latency_max_samples) {
+  CROWDRL_CHECK(framework != nullptr);
+}
+
+ArrangementService::~ArrangementService() { Stop(); }
+
+void ArrangementService::Start() {
+  CROWDRL_CHECK_MSG(!started_, "service already started");
+  // One-shot lifecycle: the queues close permanently on Stop, so a
+  // restarted service would be silently dead (every Rank degraded, every
+  // block dropped). Fail loudly instead.
+  CROWDRL_CHECK_MSG(!stopped_, "service is one-shot: construct a new one");
+  {
+    std::lock_guard<std::mutex> lk(learner_mu_);
+    PublishLocked();  // version 1: the framework's pre-start parameters
+  }
+  started_ = true;
+  batcher_ = std::thread(&ArrangementService::BatcherLoop, this);
+  if (!config_.inline_learning) {
+    learner_ = std::thread(&ArrangementService::LearnerLoop, this);
+  }
+}
+
+void ArrangementService::Stop() {
+  if (!started_) return;
+  // Order matters: the batcher drains and fulfills every accepted rank
+  // request before the learner queue closes, so feedback for in-flight
+  // decisions can still be flushed by sessions between the two joins.
+  request_queue_.Close();
+  if (batcher_.joinable()) batcher_.join();
+  learner_queue_.Close();
+  if (learner_.joinable()) learner_.join();
+  started_ = false;
+  stopped_ = true;
+}
+
+void ArrangementService::RecordArrival(const Observation& obs) {
+  std::unique_lock<std::shared_mutex> lk(arrivals_mu_);
+  framework_->OnArrival(obs);
+}
+
+void ArrangementService::PublishLocked() {
+  auto snapshot = std::make_shared<PolicySnapshot>();
+  snapshot->version = snapshot_version_.fetch_add(1) + 1;
+  if (const DqnAgent* agent = framework_->worker_agent()) {
+    snapshot->worker.emplace(QNetPair{agent->online(), agent->target_net()});
+  }
+  if (const DqnAgent* agent = framework_->requester_agent()) {
+    snapshot->requester.emplace(
+        QNetPair{agent->online(), agent->target_net()});
+  }
+  channel_.Publish(std::move(snapshot));
+}
+
+void ArrangementService::PublishNow() {
+  Status st = RunOnLearner([this] {
+    PublishLocked();
+    return Status::OK();
+  });
+  CROWDRL_CHECK(st.ok());
+}
+
+void ArrangementService::ApplyOneLocked(TransitionBlocks blocks) {
+  framework_->ApplyTransitions(std::move(blocks));
+  const int64_t processed = events_processed_.fetch_add(1) + 1;
+  if (config_.publish_every_events > 0 &&
+      processed % config_.publish_every_events == 0) {
+    PublishLocked();
+  }
+}
+
+bool ArrangementService::EnqueueBlocks(
+    std::vector<TransitionBlocks>&& blocks) {
+  if (config_.inline_learning) {
+    std::lock_guard<std::mutex> lk(learner_mu_);
+    for (TransitionBlocks& b : blocks) ApplyOneLocked(std::move(b));
+    return true;
+  }
+  LearnerItem item;
+  item.blocks = std::move(blocks);
+  return learner_queue_.Push(std::move(item));
+}
+
+Status ArrangementService::RunOnLearner(std::function<Status()> fn) {
+  if (!config_.inline_learning && started_) {
+    std::promise<Status> done;
+    std::future<Status> result = done.get_future();
+    LearnerItem item;
+    item.command = fn;  // copy: the direct path below is the fallback
+    item.command_done = &done;
+    if (learner_queue_.Push(std::move(item))) {
+      return result.get();
+    }
+    // Queue closed mid-Stop: execute directly under the learner lock
+    // (serialized against the draining learner thread).
+  }
+  std::lock_guard<std::mutex> lk(learner_mu_);
+  return fn();
+}
+
+void ArrangementService::LearnerLoop() {
+  while (auto item = learner_queue_.Pop()) {
+    std::lock_guard<std::mutex> lk(learner_mu_);
+    if (item->command) {
+      item->command_done->set_value(item->command());
+      continue;
+    }
+    for (TransitionBlocks& blocks : item->blocks) {
+      ApplyOneLocked(std::move(blocks));
+    }
+  }
+}
+
+void ArrangementService::BatcherLoop() {
+  std::vector<RankRequest> batch;
+  std::vector<DecisionContext> contexts;
+  std::vector<std::vector<double>> scores;
+  std::vector<double> latencies;
+  for (;;) {
+    batch.clear();
+    if (request_queue_.PopBatch(&batch, config_.max_batch,
+                                config_.batch_window_us) == 0) {
+      break;  // closed and drained
+    }
+    // One snapshot per micro-batch: every request in the batch is scored
+    // against the same consistent parameters, lock-free.
+    const std::shared_ptr<const PolicySnapshot> snapshot = channel_.Load();
+    const ScoringView view = snapshot->View();
+    const size_t n = batch.size();
+    contexts.assign(n, DecisionContext{});
+    scores.assign(n, {});
+    const auto score_one = [&](size_t i) {
+      contexts[i] = framework_->BuildDecision(*batch[i].obs);
+      scores[i] = framework_->ScoreDecision(contexts[i], view);
+    };
+    if (n == 1) {
+      score_one(0);
+    } else {
+      // The batched forward pass: set-states are independent, so the batch
+      // fans out across the shared pool (the learner's batch updates queue
+      // behind it on the same pool — acceptable, they are off the rank
+      // critical path by design).
+      ThreadPool::Global().ParallelFor(n, score_one);
+    }
+    latencies.clear();
+    for (size_t i = 0; i < n; ++i) {
+      RankRequest& req = batch[i];
+      *req.ranking = framework_->RankDecision(*req.obs, contexts[i],
+                                              scores[i]);
+      req.ticket->ctx = std::move(contexts[i]);
+      req.ticket->snapshot_version = snapshot->version;
+      latencies.push_back(req.wait.ElapsedSeconds());
+      req.done.set_value();  // req.* pointers are dead past this line
+    }
+    requests_.fetch_add(static_cast<int64_t>(n));
+    batches_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      for (double s : latencies) rank_latency_.Add(s);
+    }
+  }
+}
+
+// ---- Session ----
+
+ArrangementService::Session::Session(ArrangementService* service)
+    : service_(service),
+      buffer_(
+          [service](std::vector<TransitionBlocks>&& blocks) {
+            if (!service->EnqueueBlocks(std::move(blocks))) {
+              service->blocks_dropped_.fetch_add(1);
+              return false;
+            }
+            return true;
+          },
+          // Inline learning is synchronous per event: block size 1, so
+          // Feedback() returns with the event already learned.
+          service->config_.inline_learning
+              ? 1
+              : service->config_.flush_block_events) {}
+
+ArrangementService::Session::~Session() { Flush(); }
+
+std::unique_ptr<ArrangementService::Session> ArrangementService::NewSession() {
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+std::vector<int> ArrangementService::Session::Rank(const Observation& obs,
+                                                   Ticket* ticket) {
+  CROWDRL_CHECK(ticket != nullptr);
+  if (obs.tasks.empty()) {
+    ticket->ctx = DecisionContext{};
+    return {};
+  }
+  std::vector<int> ranking;
+  RankRequest request;
+  request.obs = &obs;
+  request.ticket = ticket;
+  request.ranking = &ranking;
+  std::future<void> done = request.done.get_future();
+  if (!service_->request_queue_.Push(std::move(request))) {
+    // Service stopped: degrade to the unpersonalized observation order so
+    // the caller still receives a full permutation.
+    service_->rejected_.fetch_add(1);
+    ranking.resize(obs.tasks.size());
+    std::iota(ranking.begin(), ranking.end(), 0);
+    ticket->ctx = DecisionContext{};
+    ticket->snapshot_version = 0;
+    return ranking;
+  }
+  done.get();
+  return ranking;
+}
+
+void ArrangementService::Session::Feedback(const Observation& obs,
+                                           const Ticket& ticket,
+                                           const std::vector<int>& ranking,
+                                           const crowdrl::Feedback& feedback) {
+  if (obs.tasks.empty() || ticket.ctx.task_to_row.empty()) return;
+  // Fresh snapshot for the Bellman targets: in inline mode this equals the
+  // live parameters (published after every event); in async mode it is the
+  // newest consistent view, the actor/learner staleness trade-off.
+  const std::shared_ptr<const PolicySnapshot> snapshot =
+      service_->channel_.Load();
+  TransitionBlocks blocks;
+  {
+    std::shared_lock<std::shared_mutex> lk(service_->arrivals_mu_);
+    blocks = service_->framework_->MakeTransitions(obs, ticket.ctx, ranking,
+                                                   feedback,
+                                                   snapshot->View());
+  }
+  ++events_submitted_;
+  service_->events_submitted_.fetch_add(1);
+  buffer_.Add(std::move(blocks));
+}
+
+bool ArrangementService::Session::Flush() { return buffer_.Flush(); }
+
+// ---- Checkpointing & stats ----
+
+Status ArrangementService::SaveState(const std::string& path) {
+  return RunOnLearner([this, path] {
+    // Shared arrivals lock: the statistic may keep moving for other
+    // arrivals, but the serialized φ/ϕ state must not be torn mid-write.
+    std::shared_lock<std::shared_mutex> lk(arrivals_mu_);
+    return framework_->SaveState(path);
+  });
+}
+
+Status ArrangementService::LoadState(const std::string& path) {
+  return RunOnLearner([this, path] {
+    Status st;
+    {
+      std::unique_lock<std::shared_mutex> lk(arrivals_mu_);
+      st = framework_->LoadState(path);
+    }
+    if (st.ok()) PublishLocked();  // actors see the restored parameters
+    return st;
+  });
+}
+
+ServiceStats ArrangementService::stats() const {
+  ServiceStats out;
+  out.requests = requests_.load();
+  out.rejected = rejected_.load();
+  out.batches = batches_.load();
+  out.mean_batch_size =
+      out.batches > 0
+          ? static_cast<double>(out.requests) / static_cast<double>(out.batches)
+          : 0.0;
+  out.events_submitted = events_submitted_.load();
+  out.events_processed = events_processed_.load();
+  out.blocks_dropped = blocks_dropped_.load();
+  out.snapshot_version = channel_.version();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    out.rank_count = rank_latency_.count();
+    out.rank_latency_mean_ms = rank_latency_.mean() * 1e3;
+    const std::vector<double> tail = rank_latency_.Percentiles({50, 95, 99});
+    out.rank_latency_p50_ms = tail[0] * 1e3;
+    out.rank_latency_p95_ms = tail[1] * 1e3;
+    out.rank_latency_p99_ms = tail[2] * 1e3;
+    out.rank_latency_max_ms = rank_latency_.max() * 1e3;
+  }
+  return out;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,87 @@
+#ifndef CROWDRL_SERVE_SERVING_POLICY_H_
+#define CROWDRL_SERVE_SERVING_POLICY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace crowdrl {
+
+/// \brief Adapts an ArrangementService to the Policy interface so the
+/// standard ReplayHarness / Experiment tooling can drive a *service*
+/// end-to-end — and so the serial framework and the service are directly
+/// interchangeable in equivalence tests.
+///
+/// One ServingPolicy is one driver thread's view (the harness contract is
+/// single-threaded); it owns a Session and keeps the per-decision tickets
+/// between Rank and OnFeedback, bounded exactly like the framework's own
+/// pending map. Warm-up hooks (OnHistory / OnInitEnd) are routed into the
+/// learner execution context, where mutating the agents is safe.
+class ServingPolicy : public Policy {
+ public:
+  explicit ServingPolicy(ArrangementService* service)
+      : service_(service), session_(service->NewSession()) {}
+
+  std::string name() const override {
+    return service_->framework()->name() + "@serve";
+  }
+
+  void OnArrival(const Observation& obs) override {
+    service_->RecordArrival(obs);
+  }
+
+  std::vector<int> Rank(const Observation& obs) override {
+    ArrangementService::Ticket ticket;
+    std::vector<int> ranking = session_->Rank(obs, &ticket);
+    tickets_.emplace(obs.arrival_index, std::move(ticket));
+    while (tickets_.size() > TaskArrangementFramework::kMaxPendingDecisions) {
+      tickets_.erase(tickets_.begin());
+    }
+    return ranking;
+  }
+
+  void OnFeedback(const Observation& obs, const std::vector<int>& ranking,
+                  const Feedback& feedback) override {
+    auto it = tickets_.find(obs.arrival_index);
+    if (it == tickets_.end()) return;
+    session_->Feedback(obs, it->second, ranking, feedback);
+    tickets_.erase(it);
+  }
+
+  void OnHistory(const Observation& obs, const std::vector<int>& browse_order,
+                 int completed_pos, double quality_gain) override {
+    // Learner context: warm-up replay stores transitions and may take
+    // gradient steps, which must not race with training. The caller blocks
+    // until the event is digested, so its env reads stay consistent.
+    Status st = service_->RunOnLearner([&]() {
+      service_->framework()->OnHistory(obs, browse_order, completed_pos,
+                                       quality_gain);
+      return Status::OK();
+    });
+    (void)st;
+  }
+
+  void OnInitEnd() override {
+    Status st = service_->RunOnLearner([&]() {
+      service_->framework()->OnInitEnd();
+      return Status::OK();
+    });
+    (void)st;
+    // Actors should rank against the warm-started parameters immediately.
+    service_->PublishNow();
+  }
+
+  ArrangementService::Session* session() { return session_.get(); }
+
+ private:
+  ArrangementService* service_;
+  std::unique_ptr<ArrangementService::Session> session_;
+  std::map<int64_t, ArrangementService::Ticket> tickets_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SERVE_SERVING_POLICY_H_

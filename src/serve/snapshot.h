@@ -1,0 +1,78 @@
+#ifndef CROWDRL_SERVE_SNAPSHOT_H_
+#define CROWDRL_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/framework.h"
+#include "nn/set_qnetwork.h"
+
+namespace crowdrl {
+
+/// Owned copy of one agent's (online, target) parameter pair. Immutable
+/// once inside a published PolicySnapshot.
+struct QNetPair {
+  SetQNetwork online;
+  SetQNetwork target;
+  QNetView View() const { return {&online, &target}; }
+};
+
+/// \brief One immutable, versioned copy of the framework's learned
+/// parameters — what the serving actors score against.
+///
+/// The learner trains on its live networks and periodically publishes a
+/// snapshot; actors that loaded version v keep a consistent view for the
+/// whole decision (scores and Bellman targets from the same parameters)
+/// even while version v+1 is being trained. This generalizes the DQN
+/// online/target-network split one level up: target networks stabilize
+/// *learning* against a moving bootstrap; snapshots stabilize *serving*
+/// against a moving learner.
+struct PolicySnapshot {
+  uint64_t version = 0;
+  std::optional<QNetPair> worker;
+  std::optional<QNetPair> requester;
+
+  ScoringView View() const {
+    ScoringView view;
+    if (worker) view.worker = worker->View();
+    if (requester) view.requester = requester->View();
+    return view;
+  }
+};
+
+/// \brief Single-writer / multi-reader snapshot publication point.
+///
+/// Publication is an atomic shared_ptr swap: readers take a reference to
+/// the current snapshot without blocking the writer and without any reader
+/// ever observing a half-copied network; the previous snapshot is freed
+/// when its last in-flight reader drops it. Readers therefore never hold a
+/// lock across inference, which is the property the whole actor/learner
+/// split rests on.
+class SnapshotChannel {
+ public:
+  SnapshotChannel() : current_(std::make_shared<const PolicySnapshot>()) {}
+
+  /// Replaces the current snapshot (learner thread only).
+  void Publish(std::shared_ptr<const PolicySnapshot> snapshot) {
+    std::atomic_store_explicit(&current_, std::move(snapshot),
+                               std::memory_order_release);
+  }
+
+  /// The latest published snapshot (any thread). Never null; before the
+  /// first Publish it is an empty version-0 snapshot.
+  std::shared_ptr<const PolicySnapshot> Load() const {
+    return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+  }
+
+  uint64_t version() const { return Load()->version; }
+
+ private:
+  std::shared_ptr<const PolicySnapshot> current_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SERVE_SNAPSHOT_H_

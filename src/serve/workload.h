@@ -1,0 +1,84 @@
+#ifndef CROWDRL_SERVE_WORKLOAD_H_
+#define CROWDRL_SERVE_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/env_view.h"
+#include "core/policy.h"
+#include "sim/task.h"
+
+namespace crowdrl {
+
+/// Shape of the synthetic serving workload.
+struct ServeWorkloadConfig {
+  int num_workers = 64;
+  int num_tasks = 64;
+  /// Tasks per observation (the available pool |T_i| an arrival sees).
+  int pool_size = 12;
+  /// Pre-run completions that warm the worker feature histories, so
+  /// arrivals carry realistic (non-cold) features.
+  int warm_completions = 512;
+  uint64_t seed = 7;
+  FeatureConfig features;
+};
+
+/// \brief Frozen-clock load-generation environment for the arrangement
+/// service: a fixed task/worker population whose observable state is
+/// *physically immutable* during the run.
+///
+/// Concurrent serving needs data-race-free EnvView reads from many actor
+/// threads. FeatureBuilder's const reads decay histories to the query time
+/// (a hidden write), so this workload pins every timestamp to one instant
+/// (`now()`): all caches are warmed and all histories decayed to that
+/// instant at construction, after which every read is a pure load. That
+/// makes the workload safe to share across any number of actors with no
+/// locking — the property the serve benchmarks and ThreadSanitizer tests
+/// rely on.
+class ServeWorkload : public EnvView {
+ public:
+  explicit ServeWorkload(const ServeWorkloadConfig& config = {});
+
+  /// The frozen instant every observation (and feature query) uses.
+  SimTime frozen_now() const { return frozen_now_; }
+
+  size_t worker_feature_dim() const;
+  size_t task_feature_dim() const;
+  const ServeWorkloadConfig& config() const { return config_; }
+
+  /// A synthetic arrival: a random warm worker facing a random pool of
+  /// `pool_size` distinct tasks. Deterministic given (`arrival_index`,
+  /// rng state); callers own the rng (one per actor thread).
+  Observation MakeObservation(int64_t arrival_index, Rng* rng) const;
+
+  /// Cascade-model reaction to a ranking: scans positions in order and
+  /// completes the first accepted task (acceptance odds grow with worker
+  /// quality and decay with rank position), else skips everything.
+  Feedback SimulateFeedback(const Observation& obs,
+                            const std::vector<int>& ranking, Rng* rng) const;
+
+  // ---- EnvView (all pure reads after construction) ----
+  const FeatureBuilder& features() const override { return features_; }
+  double WorkerQuality(WorkerId worker) const override {
+    return worker_quality_[worker];
+  }
+  double TaskQuality(TaskId task) const override {
+    return task_quality_[task];
+  }
+  SimTime now() const override { return frozen_now_; }
+
+ private:
+  ServeWorkloadConfig config_;
+  SimTime frozen_now_;
+  FeatureBuilder features_;
+  std::vector<Task> tasks_;
+  std::vector<double> worker_quality_;
+  std::vector<double> task_quality_;
+  /// Worker features pre-rendered at frozen_now_ (avoids per-observation
+  /// FeatureBuilder traffic on the rank hot path).
+  std::vector<std::vector<float>> worker_feature_cache_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SERVE_WORKLOAD_H_

@@ -1,0 +1,129 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace crowdrl {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, CapacityBlocksProducerUntilConsumed) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(3));  // must block until a Pop frees a slot
+    third_pushed = true;
+  });
+  // The producer cannot complete while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEmpty) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.Push(7));
+  q.Close();
+  EXPECT_FALSE(q.Push(8));  // rejected after close
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(q.Pop().has_value());  // drained
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, PopBatchCoalescesUpToMax) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 3, /*coalesce_us=*/0), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.PopBatch(&out, 8, /*coalesce_us=*/0), 2u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(BoundedQueueTest, PopBatchWaitsWithinWindowForStragglers) {
+  BoundedQueue<int> q(16);
+  ASSERT_TRUE(q.Push(1));
+  std::thread straggler([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(q.Push(2));
+  });
+  std::vector<int> out;
+  // Generous window: the straggler lands inside it and joins the batch.
+  const size_t n = q.PopBatch(&out, 4, /*coalesce_us=*/500000);
+  straggler.join();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueueTest, PopBatchReturnsZeroWhenClosedAndDrained) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 4, 1000), 0u);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersConserveItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(16);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++popped;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -56,6 +56,41 @@ TEST(CliTest, LaterDuplicatesWin) {
   EXPECT_EQ(flags.GetInt("k", 0), 2);
 }
 
+TEST(CliTest, HelpIsGeneratedFromTheRegisteredFlagSurface) {
+  const char* argv[] = {"prog", "--help"};
+  CliFlags flags(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.HelpRequested());
+
+  // Lookups register the surface: name, type, default, description.
+  flags.GetDouble("scale", 0.25, "trace volume multiplier");
+  flags.GetInt("months", 12, "evaluated months");
+  flags.GetBool("paper", false, "paper-scale run");
+  flags.GetString("out", "results", "output directory");
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  flags.PrintHelp(tmp);
+  std::rewind(tmp);
+  std::string text;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), tmp) != nullptr) text += buf;
+  std::fclose(tmp);
+
+  for (const char* needle :
+       {"--scale=<double>", "(default 0.25)", "trace volume multiplier",
+        "--months=<int>", "--paper=<bool>", "--out=<string>",
+        "(default results)", "--help"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n" << text;
+  }
+}
+
+TEST(CliTest, HelpNotRequestedByDefault) {
+  const char* argv[] = {"prog", "--scale=1"};
+  CliFlags flags(2, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.HelpRequested());
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double x = 0;

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(PercentileAccumulatorTest, EmptyIsZero) {
+  PercentileAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.Percentile(50), 0.0);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(PercentileAccumulatorTest, ExactPercentilesBelowCap) {
+  PercentileAccumulator acc;
+  // 1..100 in scrambled order (percentiles are order-free).
+  for (int i = 0; i < 100; ++i) acc.Add(((i * 37) % 100) + 1);
+  EXPECT_EQ(acc.count(), 100);
+  EXPECT_DOUBLE_EQ(acc.mean(), 50.5);
+  EXPECT_EQ(acc.max(), 100.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 100.0);
+  // Linear interpolation between order statistics: rank = p/100·(n−1).
+  EXPECT_NEAR(acc.Percentile(50), 50.5, 1e-12);
+  EXPECT_NEAR(acc.Percentile(95), 95.05, 1e-12);
+  EXPECT_NEAR(acc.Percentile(99), 99.01, 1e-12);
+}
+
+TEST(PercentileAccumulatorTest, TailIsNotHiddenByTheMean) {
+  PercentileAccumulator acc;
+  for (int i = 0; i < 990; ++i) acc.Add(1.0);
+  for (int i = 0; i < 10; ++i) acc.Add(100.0);  // 1% slow outliers
+  EXPECT_LT(acc.mean(), 3.0);          // the mean barely moves…
+  EXPECT_GT(acc.Percentile(99.5), 50.0);  // …but the tail is visible
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 1.0);
+}
+
+TEST(PercentileAccumulatorTest, DecimationKeepsPercentilesApproximate) {
+  PercentileAccumulator capped(/*max_samples=*/64);
+  PercentileAccumulator exact;
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform();  // stationary series
+    capped.Add(x);
+    exact.Add(x);
+  }
+  EXPECT_EQ(capped.count(), 10000);
+  EXPECT_LT(capped.retained_samples(), 64u);
+  EXPECT_GT(capped.stride(), 1u);
+  // Mean/max cover every observation regardless of decimation.
+  EXPECT_DOUBLE_EQ(capped.mean(), exact.mean());
+  EXPECT_DOUBLE_EQ(capped.max(), exact.max());
+  // Percentiles come from an evenly spaced subsample: close, not exact.
+  EXPECT_NEAR(capped.Percentile(50), 0.5, 0.15);
+  EXPECT_NEAR(capped.Percentile(95), 0.95, 0.15);
+}
+
+TEST(PercentileAccumulatorTest, DecimationIsDeterministic) {
+  PercentileAccumulator a(/*max_samples=*/32), b(/*max_samples=*/32);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(i % 997);
+    b.Add(i % 997);
+  }
+  EXPECT_EQ(a.retained_samples(), b.retained_samples());
+  EXPECT_EQ(a.Percentile(50), b.Percentile(50));
+  EXPECT_EQ(a.Percentile(99), b.Percentile(99));
+}
+
+}  // namespace
+}  // namespace crowdrl
