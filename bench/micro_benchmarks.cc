@@ -9,6 +9,7 @@
 #include "nn/set_qnetwork.h"
 #include "rl/arrival_model.h"
 #include "rl/prioritized_replay.h"
+#include "serve/snapshot.h"
 #include "tensor/ops.h"
 
 namespace crowdrl {
@@ -196,6 +197,66 @@ void BM_GapHistogramMass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GapHistogramMass);
+
+// Snapshot publish cost at the paper's per-feedback cadence
+// (publish_every_events = 1): what one PolicySnapshot publication costs
+// with and without delta-publication. Args are {delta, learner_active}:
+//   {0, 1}  full deep copy, a gradient step between publishes (pre-delta
+//           behaviour: all four nets copied every publish)
+//   {1, 1}  delta, a gradient step between publishes (online nets copy,
+//           target nets — half the snapshot bytes — are reused until sync)
+//   {1, 0}  delta, idle learner (all four nets reused: the cost floor for
+//           publishes that land between learner steps)
+void BM_SnapshotPublish(benchmark::State& state) {
+  const bool delta = state.range(0) != 0;
+  const bool learner_active = state.range(1) != 0;
+  DqnAgentConfig cfg;
+  cfg.net.input_dim = 50;
+  cfg.net.hidden_dim = 64;
+  cfg.net.num_heads = 4;
+  cfg.batch_size = 32;
+  cfg.replay.capacity = 256;
+  cfg.target_sync_every = 100;  // the paper's C
+  DqnAgent worker(cfg), requester(cfg);
+  Rng rng(11);
+  for (DqnAgent* agent : {&worker, &requester}) {
+    for (int i = 0; i < 64; ++i) {
+      Transition t;
+      t.state = Matrix::Uniform(16, 50, &rng);
+      t.valid_n = 16;
+      t.action_row = static_cast<int>(rng.UniformInt(16));
+      t.reward = static_cast<float>(rng.Uniform());
+      agent->Store(std::move(t));
+    }
+  }
+  SnapshotBuilder builder;
+  uint64_t version = 0;
+  for (auto _ : state) {
+    if (learner_active) {
+      state.PauseTiming();  // measure the publish, not the gradient step
+      worker.LearnStep();
+      requester.LearnStep();
+      state.ResumeTiming();
+    }
+    auto snapshot = builder.Build(&worker, &requester, ++version, delta);
+    benchmark::DoNotOptimize(snapshot.get());
+  }
+  state.counters["nets_copied_per_publish"] = benchmark::Counter(
+      static_cast<double>(builder.nets_copied()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["nets_shared_per_publish"] = benchmark::Counter(
+      static_cast<double>(builder.nets_shared()),
+      benchmark::Counter::kAvgIterations);
+}
+// Fixed iteration count: the learner-active variants pay two (untimed)
+// gradient steps per iteration, so letting the library auto-scale
+// iterations to fill its measurement window would run for minutes.
+BENCHMARK(BM_SnapshotPublish)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Iterations(200)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace crowdrl

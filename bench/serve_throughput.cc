@@ -1,12 +1,16 @@
-// Load-generates the asynchronous arrangement service: N actor threads
-// drive full rank→feedback interactions against one continuously-learning
-// framework (1 micro-batcher + 1 learner thread), reporting QPS and
-// p50/p95/p99 rank latency per actor count.
+// Load-generates the arrangement service: N actor threads drive full
+// rank→feedback interactions against S learner/replica shards behind the
+// worker router, reporting aggregate and per-shard QPS and p50/p95/p99
+// rank latency per (actors, shards) point.
 //
-// This is the platform benchmark of the actor/learner split: the serial
+// This is the platform benchmark of the serving stack: the serial
 // framework serves exactly one worker at a time and its rank latency pays
 // for every gradient step; here ranking rides on published parameter
-// snapshots while the learner trails behind on its own thread.
+// snapshots while each shard's learner trails behind on its own thread,
+// and S shards learn from S disjoint worker partitions in parallel. With
+// --budget_us >= 0 the rank queues shed over-budget requests instead of
+// blocking (admission control) — shed requests are answered with the
+// fallback ranking and counted, never silently dropped.
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -15,7 +19,7 @@
 #include "bench/bench_util.h"
 #include "common/json.h"
 #include "common/stopwatch.h"
-#include "serve/service.h"
+#include "serve/sharded_service.h"
 #include "serve/workload.h"
 
 namespace crowdrl {
@@ -23,9 +27,10 @@ namespace {
 
 struct SweepPoint {
   int actors = 0;
+  int shards = 0;
   int64_t arrivals = 0;
   double wall_s = 0;
-  ServiceStats stats;
+  ShardedServiceStats stats;
 };
 
 /// Every tunable of one sweep point, read from flags up front so the
@@ -49,6 +54,14 @@ struct PointConfig {
         "flush_block", 4, "feedback events per local-buffer flush block"));
     cfg.service.publish_every_events = flags.GetInt(
         "publish_every", 8, "snapshot publication cadence (feedback events)");
+    cfg.service.request_queue_capacity = static_cast<size_t>(flags.GetInt(
+        "queue_cap", 1024, "per-shard rank request queue capacity"));
+    cfg.service.enqueue_budget_us = flags.GetInt(
+        "budget_us", -1,
+        "per-request enqueue budget in µs; <0 blocks (no shedding), "
+        ">=0 sheds over-budget requests to the fallback ranking");
+    cfg.service.snapshot_delta = flags.GetInt(
+        "snapshot_delta", 1, "reuse unchanged nets across publishes") != 0;
     return cfg;
   }
 };
@@ -71,12 +84,12 @@ FrameworkConfig ServingFrameworkConfig(const PointConfig& point,
 }
 
 SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
-                    int actors, int64_t arrivals, uint64_t seed) {
-  TaskArrangementFramework framework(ServingFrameworkConfig(point, seed),
-                                     &workload,
-                                     workload.worker_feature_dim(),
-                                     workload.task_feature_dim());
-  ArrangementService service(&framework, point.service);
+                    int actors, int shards, int64_t arrivals, uint64_t seed) {
+  auto service_owner = ShardedArrangementService::Create(
+      ServingFrameworkConfig(point, seed), &workload,
+      workload.worker_feature_dim(), workload.task_feature_dim(), shards,
+      point.service);
+  ShardedArrangementService& service = *service_owner;
   service.Start();
 
   std::atomic<int64_t> arrival_counter{0};
@@ -93,7 +106,7 @@ SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
         const Observation obs =
             workload.MakeObservation(arrival_counter.fetch_add(1), &rng);
         service.RecordArrival(obs);
-        ArrangementService::Ticket ticket;
+        ShardedArrangementService::Ticket ticket;
         const std::vector<int> ranking = session->Rank(obs, &ticket);
         session->Feedback(obs, ticket, ranking,
                           workload.SimulateFeedback(obs, ranking, &rng));
@@ -102,14 +115,49 @@ SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
     });
   }
   for (auto& t : threads) t.join();
-  service.Stop();  // drains the learner
+  service.Stop();  // drains every shard's learner
 
   SweepPoint result;
   result.actors = actors;
+  result.shards = shards;
   result.arrivals = arrivals;
   result.wall_s = wall.ElapsedSeconds();
   result.stats = service.stats();
   return result;
+}
+
+std::vector<int> ParseCountList(const std::string& csv) {
+  std::vector<int> out;
+  for (size_t pos = 0; pos < csv.size();) {
+    const size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const int n = std::atoi(tok.c_str());
+    if (n > 0) out.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void EmitStats(JsonWriter* json, const ServiceStats& s, double wall_s) {
+  json->KV("requests", s.requests);
+  json->KV("shed", s.shed);
+  json->KV("rejected", s.rejected);
+  json->KV("qps_served",
+           wall_s > 0 ? static_cast<double>(s.requests) / wall_s : 0.0);
+  json->KV("rank_latency_mean_ms", s.rank_latency_mean_ms);
+  json->KV("rank_latency_p50_ms", s.rank_latency_p50_ms);
+  json->KV("rank_latency_p95_ms", s.rank_latency_p95_ms);
+  json->KV("rank_latency_p99_ms", s.rank_latency_p99_ms);
+  json->KV("rank_latency_max_ms", s.rank_latency_max_ms);
+  json->KV("batches", s.batches);
+  json->KV("mean_batch_size", s.mean_batch_size);
+  json->KV("events_submitted", s.events_submitted);
+  json->KV("events_processed", s.events_processed);
+  json->KV("snapshot_version", s.snapshot_version);
+  json->KV("snapshot_nets_copied", s.snapshot_nets_copied);
+  json->KV("snapshot_nets_shared", s.snapshot_nets_shared);
 }
 
 int Main(int argc, char** argv) {
@@ -118,6 +166,8 @@ int Main(int argc, char** argv) {
       "arrivals", 100000, "arrivals driven through the service per point");
   const std::string actors_csv = flags.GetString(
       "actors", "4", "comma-separated actor-thread counts to sweep");
+  const std::string shards_csv = flags.GetString(
+      "shards", "1", "comma-separated shard counts to sweep (e.g. 1,2,4)");
   const uint64_t seed = static_cast<uint64_t>(
       flags.GetInt("seed", 17, "master seed"));
   const std::string out_dir =
@@ -133,16 +183,8 @@ int Main(int argc, char** argv) {
   wl_cfg.seed = seed ^ 0x5EEDULL;
   const PointConfig point = PointConfig::FromFlags(flags);
 
-  std::vector<int> actor_counts;
-  for (size_t pos = 0; pos < actors_csv.size();) {
-    const size_t comma = actors_csv.find(',', pos);
-    const std::string tok = actors_csv.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    const int n = std::atoi(tok.c_str());
-    if (n > 0) actor_counts.push_back(n);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
+  const std::vector<int> actor_counts = ParseCountList(actors_csv);
+  const std::vector<int> shard_counts = ParseCountList(shards_csv);
   if (flags.HelpRequested()) {
     flags.PrintHelp();
     return 0;
@@ -151,59 +193,78 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--actors must name at least one positive count\n");
     return 2;
   }
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "--shards must name at least one positive count\n");
+    return 2;
+  }
 
-  std::printf("serve_throughput: arrivals=%lld actors={%s} pool=%d seed=%llu\n",
-              static_cast<long long>(arrivals), actors_csv.c_str(),
-              wl_cfg.pool_size, static_cast<unsigned long long>(seed));
+  std::printf(
+      "serve_throughput: arrivals=%lld actors={%s} shards={%s} pool=%d "
+      "seed=%llu budget_us=%lld\n",
+      static_cast<long long>(arrivals), actors_csv.c_str(),
+      shards_csv.c_str(), wl_cfg.pool_size,
+      static_cast<unsigned long long>(seed),
+      static_cast<long long>(point.service.enqueue_budget_us));
   const ServeWorkload workload(wl_cfg);
 
   bench::BenchSetup setup;
   setup.out_dir = out_dir;
-  Table t({"actors", "arrivals", "wall_s", "qps", "p50_ms", "p95_ms",
-           "p99_ms", "max_ms", "mean_batch", "events_learned"});
+  Table t({"actors", "shards", "arrivals", "wall_s", "qps", "p50_ms",
+           "p95_ms", "p99_ms", "max_ms", "mean_batch", "shed",
+           "events_learned"});
   JsonWriter json;
   json.BeginObject();
-  json.KV("schema", "crowdrl.serve_throughput.v1");
+  json.KV("schema", "crowdrl.serve_throughput.v2");
   json.KV("arrivals_per_point", arrivals);
   json.KV("pool_size", static_cast<int64_t>(wl_cfg.pool_size));
   json.KV("seed", seed);
+  json.KV("enqueue_budget_us", point.service.enqueue_budget_us);
   json.Key("points").BeginArray();
 
-  for (int actors : actor_counts) {
-    std::printf("... actors=%d\n", actors);
-    std::fflush(stdout);
-    const SweepPoint p = RunPoint(point, workload, actors, arrivals, seed);
-    const double qps =
-        p.wall_s > 0 ? static_cast<double>(p.arrivals) / p.wall_s : 0.0;
-    t.AddRow({std::to_string(p.actors), std::to_string(p.arrivals),
-              Table::Num(p.wall_s, 2), Table::Num(qps, 1),
-              Table::Num(p.stats.rank_latency_p50_ms, 3),
-              Table::Num(p.stats.rank_latency_p95_ms, 3),
-              Table::Num(p.stats.rank_latency_p99_ms, 3),
-              Table::Num(p.stats.rank_latency_max_ms, 3),
-              Table::Num(p.stats.mean_batch_size, 2),
-              std::to_string(p.stats.events_processed)});
-    json.BeginObject();
-    json.KV("actors", static_cast<int64_t>(p.actors));
-    json.KV("arrivals", p.arrivals);
-    json.KV("wall_s", p.wall_s);
-    json.KV("qps", qps);
-    json.KV("rank_latency_mean_ms", p.stats.rank_latency_mean_ms);
-    json.KV("rank_latency_p50_ms", p.stats.rank_latency_p50_ms);
-    json.KV("rank_latency_p95_ms", p.stats.rank_latency_p95_ms);
-    json.KV("rank_latency_p99_ms", p.stats.rank_latency_p99_ms);
-    json.KV("rank_latency_max_ms", p.stats.rank_latency_max_ms);
-    json.KV("batches", p.stats.batches);
-    json.KV("mean_batch_size", p.stats.mean_batch_size);
-    json.KV("events_submitted", p.stats.events_submitted);
-    json.KV("events_processed", p.stats.events_processed);
-    json.KV("snapshot_version", p.stats.snapshot_version);
-    json.EndObject();
+  for (int shards : shard_counts) {
+    for (int actors : actor_counts) {
+      std::printf("... actors=%d shards=%d\n", actors, shards);
+      std::fflush(stdout);
+      const SweepPoint p =
+          RunPoint(point, workload, actors, shards, arrivals, seed);
+      // Aggregate QPS counts every answered arrival (served + degraded);
+      // per-shard and aggregate qps_served count batcher-served ranks only.
+      const double qps =
+          p.wall_s > 0 ? static_cast<double>(p.arrivals) / p.wall_s : 0.0;
+      const ServiceStats& agg = p.stats.aggregate;
+      t.AddRow({std::to_string(p.actors), std::to_string(p.shards),
+                std::to_string(p.arrivals), Table::Num(p.wall_s, 2),
+                Table::Num(qps, 1), Table::Num(agg.rank_latency_p50_ms, 3),
+                Table::Num(agg.rank_latency_p95_ms, 3),
+                Table::Num(agg.rank_latency_p99_ms, 3),
+                Table::Num(agg.rank_latency_max_ms, 3),
+                Table::Num(agg.mean_batch_size, 2),
+                std::to_string(agg.shed),
+                std::to_string(agg.events_processed)});
+      json.BeginObject();
+      json.KV("actors", static_cast<int64_t>(p.actors));
+      json.KV("shards", static_cast<int64_t>(p.shards));
+      json.KV("arrivals", p.arrivals);
+      json.KV("wall_s", p.wall_s);
+      json.KV("qps", qps);
+      json.Key("aggregate").BeginObject();
+      EmitStats(&json, agg, p.wall_s);
+      json.EndObject();
+      json.Key("per_shard").BeginArray();
+      for (size_t s = 0; s < p.stats.per_shard.size(); ++s) {
+        json.BeginObject();
+        json.KV("shard", static_cast<int64_t>(s));
+        EmitStats(&json, p.stats.per_shard[s], p.wall_s);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+    }
   }
   json.EndArray();
   json.EndObject();
 
-  t.Print("serve_throughput: QPS and rank-latency tail vs actor count");
+  t.Print("serve_throughput: QPS and rank-latency tail vs actors x shards");
   bench::EmitJson(json.str(), setup, "serve_throughput.json");
   return 0;
 }

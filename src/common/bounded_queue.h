@@ -18,10 +18,20 @@ namespace crowdrl {
 /// The bound is the service's backpressure mechanism: when the learner
 /// falls behind, producers block in Push instead of growing an unbounded
 /// backlog. Close() releases everyone — blocked producers return false,
-/// consumers drain whatever is left and then receive "empty".
+/// consumers drain whatever is left and then receive "empty". TryPushFor
+/// adds the admission-control variant: a producer with a latency budget
+/// waits only that long for space and learns *why* it failed (closed vs
+/// timed out), which is what lets a service shed instead of block.
 template <typename T>
 class BoundedQueue {
  public:
+  /// Outcome of a bounded-wait push.
+  enum class PushResult {
+    kOk,       ///< item enqueued
+    kClosed,   ///< queue closed (item dropped)
+    kTimeout,  ///< budget elapsed with the queue still full (item dropped)
+  };
+
   explicit BoundedQueue(size_t capacity)
       : capacity_(capacity < 1 ? 1 : capacity) {}
 
@@ -39,6 +49,26 @@ class BoundedQueue {
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Deadline-aware Push: waits at most `budget_us` microseconds for queue
+  /// space (0 = try once, no wait). The item is dropped unless kOk is
+  /// returned. Close() wakes waiters immediately with kClosed, even
+  /// mid-budget — the admission-control path must never outlive shutdown.
+  PushResult TryPushFor(T item, int64_t budget_us) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      const auto budget =
+          std::chrono::microseconds(budget_us < 0 ? 0 : budget_us);
+      const bool ready = not_full_.wait_for(lk, budget, [&] {
+        return items_.size() < capacity_ || closed_;
+      });
+      if (closed_) return PushResult::kClosed;
+      if (!ready) return PushResult::kTimeout;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Blocks while the queue is empty. Returns nullopt iff the queue was

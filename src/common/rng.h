@@ -9,6 +9,17 @@
 
 namespace crowdrl {
 
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// This is the library's canonical stable hash — seed-stream derivation and
+/// worker→shard routing both rely on it being a pure function of its input
+/// (identical across runs, platforms and process restarts).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// \brief Deterministic pseudo-random generator (xoshiro256**).
 ///
 /// Every stochastic component in the library takes an explicit seed so that

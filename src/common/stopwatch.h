@@ -91,6 +91,24 @@ class PercentileAccumulator {
     return out;
   }
 
+  /// Folds another accumulator into this one (cross-shard aggregation of
+  /// per-shard latency series). Count, mean and max merge exactly. The
+  /// retained samples are concatenated, so when the two accumulators have
+  /// decimated at different strides the merged percentiles weight their
+  /// streams slightly unevenly — an approximation that is exact while both
+  /// sides are below their sample caps.
+  void Merge(const PercentileAccumulator& other) {
+    if (other.n_ == 0) return;
+    max_ = n_ == 0 ? other.max_ : std::max(max_, other.max_);
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) /
+            static_cast<double>(n_ + other.n_);
+    n_ += other.n_;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    while (samples_.size() >= max_samples_) Compact();
+  }
+
   double mean() const { return mean_; }
   double max() const { return max_; }
   int64_t count() const { return n_; }

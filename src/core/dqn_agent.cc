@@ -142,9 +142,10 @@ bool DqnAgent::LearnStep() {
   last_loss_ = loss / static_cast<double>(batch);
 
   ++learn_steps_;
+  ++online_version_;
   if (config_.target_sync_every > 0 &&
       learn_steps_ % config_.target_sync_every == 0) {
-    target_.CopyFrom(online_);
+    SyncTarget();
   }
   return true;
 }

@@ -108,12 +108,35 @@ class DqnAgent {
   /// Forces one minibatch gradient step (if the buffer allows).
   bool LearnStep();
 
+  /// Mutable access to the online net (tests, ablations). Direct mutation
+  /// bypasses the version counters below, so snapshot delta-publication
+  /// must not be combined with out-of-band parameter writes.
   SetQNetwork& online() { return online_; }
   const SetQNetwork& online() const { return online_; }
   const SetQNetwork& target_net() const { return target_; }
 
   /// Hard-copies θ̃ ← θ immediately (used after restoring a checkpoint).
-  void SyncTarget() { target_.CopyFrom(online_); }
+  void SyncTarget() {
+    target_.CopyFrom(online_);
+    ++target_version_;
+  }
+
+  /// Restores θ from a checkpointed copy and hard-syncs θ̃ — the one
+  /// sanctioned external parameter write (TaskArrangementFramework::
+  /// LoadState), so both version counters advance.
+  void RestoreOnline(const SetQNetwork& net) {
+    online_.CopyFrom(net);
+    ++online_version_;
+    SyncTarget();
+  }
+
+  /// Mutation counters of the two parameter sets: online bumps on every
+  /// applied gradient step, target on every hard sync. They let a snapshot
+  /// publisher reuse the previous immutable copy of any net that has not
+  /// changed since the last publish (delta-publication) instead of deep-
+  /// copying every network on every publish.
+  uint64_t online_version() const { return online_version_; }
+  uint64_t target_version() const { return target_version_; }
 
   int64_t learn_steps() const { return learn_steps_; }
   int64_t stored() const { return store_count_; }
@@ -130,6 +153,8 @@ class DqnAgent {
   PrioritizedReplay replay_;
   int64_t store_count_ = 0;
   int64_t learn_steps_ = 0;
+  uint64_t online_version_ = 0;
+  uint64_t target_version_ = 0;
   double last_loss_ = 0;
   /// Persistent per-chunk gradient stores (avoids re-allocating ~MBs of
   /// gradient buffers every learner step).

@@ -363,8 +363,7 @@ Status TaskArrangementFramework::LoadState(const std::string& path) {
         net.config().hidden_dim != agent->online().config().hidden_dim) {
       return Status::InvalidArgument("checkpoint network shape mismatch");
     }
-    agent->online().CopyFrom(net);
-    agent->SyncTarget();
+    agent->RestoreOnline(net);
     return Status::OK();
   };
   if (worker_agent_) CROWDRL_RETURN_NOT_OK(restore_agent(worker_agent_.get()));

@@ -1,0 +1,63 @@
+#include "core/sharding.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace crowdrl {
+
+int ShardOfWorker(WorkerId worker, int num_shards) {
+  CROWDRL_CHECK(num_shards > 0);
+  if (num_shards == 1) return 0;
+  // Salted so that shard assignment is not trivially correlated with other
+  // SplitMix64 consumers hashing the same small worker ids.
+  const uint64_t h =
+      SplitMix64(static_cast<uint64_t>(worker) ^ 0x51A2DE55AA5EEDULL);
+  return static_cast<int>(h % static_cast<uint64_t>(num_shards));
+}
+
+FrameworkConfig ShardFrameworkConfig(FrameworkConfig base,
+                                     const ShardSpec& spec) {
+  CROWDRL_CHECK(spec.num_shards > 0);
+  CROWDRL_CHECK(spec.shard >= 0 && spec.shard < spec.num_shards);
+  if (spec.shard == 0) return base;  // bit-identical to the serial config
+  const uint64_t salt =
+      SplitMix64(base.seed ^ (0x5A4DULL + static_cast<uint64_t>(spec.shard)));
+  base.seed ^= salt;
+  base.worker_dqn.seed ^= SplitMix64(salt ^ 1);
+  base.requester_dqn.seed ^= SplitMix64(salt ^ 2);
+  return base;
+}
+
+ShardEnvView::ShardEnvView(const EnvView* base, const ShardSpec& spec)
+    : base_(base), spec_(spec) {
+  CROWDRL_CHECK(base != nullptr);
+  CROWDRL_CHECK(spec.num_shards > 0);
+  CROWDRL_CHECK(spec.shard >= 0 && spec.shard < spec.num_shards);
+}
+
+std::vector<TaskArrangementFramework*> ShardSet::Pointers() const {
+  std::vector<TaskArrangementFramework*> out;
+  out.reserve(frameworks.size());
+  for (const auto& fw : frameworks) out.push_back(fw.get());
+  return out;
+}
+
+ShardSet BuildShardFrameworks(const FrameworkConfig& base, const EnvView* env,
+                              size_t worker_feature_dim,
+                              size_t task_feature_dim, int num_shards) {
+  CROWDRL_CHECK(env != nullptr);
+  CROWDRL_CHECK(num_shards > 0);
+  ShardSet set;
+  set.views.reserve(static_cast<size_t>(num_shards));
+  set.frameworks.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    const ShardSpec spec{s, num_shards};
+    set.views.push_back(std::make_unique<ShardEnvView>(env, spec));
+    set.frameworks.push_back(std::make_unique<TaskArrangementFramework>(
+        ShardFrameworkConfig(base, spec), set.views.back().get(),
+        worker_feature_dim, task_feature_dim));
+  }
+  return set;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,97 @@
+#ifndef CROWDRL_CORE_SHARDING_H_
+#define CROWDRL_CORE_SHARDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/env_view.h"
+#include "core/framework.h"
+
+namespace crowdrl {
+
+/// Identity of one shard within a sharded deployment.
+struct ShardSpec {
+  int shard = 0;       ///< this shard's index in [0, num_shards)
+  int num_shards = 1;  ///< total shards in the deployment
+};
+
+/// Stable worker→shard partition function: a pure splitmix64 hash of the
+/// worker id, identical across runs, process restarts and platforms.
+/// Every component that partitions by worker (the serving router, the
+/// per-shard env views, tests) must agree on this one function — a worker
+/// whose sessions land on shard k must find its learned history there too.
+int ShardOfWorker(WorkerId worker, int num_shards);
+
+/// \brief Derives shard `spec.shard`'s framework configuration from the
+/// deployment-wide base config.
+///
+/// Shard 0 keeps the base configuration *bit-for-bit* (including every
+/// seed): a 1-shard deployment therefore builds exactly the framework the
+/// serial path builds, which is what the sharded↔serial equivalence tests
+/// pin down. Shards ≥ 1 get decorrelated seed streams (network init,
+/// exploration, replay sampling) derived deterministically from
+/// (base seed, shard index), so an S-shard run is reproducible for a fixed
+/// seed and shard count.
+FrameworkConfig ShardFrameworkConfig(FrameworkConfig base,
+                                     const ShardSpec& spec);
+
+/// \brief One shard's window onto the shared observable platform state.
+///
+/// Feature store, worker/task qualities and the clock are deployment-wide
+/// (tasks are not partitioned — every shard arranges over the full pool);
+/// what is partitioned is the *feedback stream*: a shard's framework only
+/// ever sees arrivals, decisions and completions of the workers it owns,
+/// so its arrival statistics and replay memory describe its own worker
+/// population. The view carries the shard identity so ownership is
+/// queryable where it matters (routing tests, diagnostics).
+class ShardEnvView : public EnvView {
+ public:
+  /// `base` must outlive the view.
+  ShardEnvView(const EnvView* base, const ShardSpec& spec);
+
+  const ShardSpec& spec() const { return spec_; }
+  const EnvView* base() const { return base_; }
+  /// True iff `worker` is partitioned onto this shard.
+  bool Owns(WorkerId worker) const {
+    return ShardOfWorker(worker, spec_.num_shards) == spec_.shard;
+  }
+
+  // ---- EnvView (delegation to the shared state) ----
+  const FeatureBuilder& features() const override { return base_->features(); }
+  double WorkerQuality(WorkerId worker) const override {
+    return base_->WorkerQuality(worker);
+  }
+  double TaskQuality(TaskId task) const override {
+    return base_->TaskQuality(task);
+  }
+  SimTime now() const override { return base_->now(); }
+
+ private:
+  const EnvView* base_;
+  ShardSpec spec_;
+};
+
+/// A fully constructed shard fleet: S frameworks, each reading the shared
+/// env through its own ShardEnvView. Movable; the views must outlive the
+/// frameworks (member order guarantees reverse destruction).
+struct ShardSet {
+  std::vector<std::unique_ptr<ShardEnvView>> views;
+  std::vector<std::unique_ptr<TaskArrangementFramework>> frameworks;
+
+  size_t size() const { return frameworks.size(); }
+  /// Non-owning pointers in shard order (the shape service ctors take).
+  std::vector<TaskArrangementFramework*> Pointers() const;
+};
+
+/// Builds `num_shards` frameworks from one shared base configuration:
+/// shard k gets ShardFrameworkConfig(base, {k, num_shards}) and a
+/// ShardEnvView over `env`. This is the construction path of the sharded
+/// arrangement service — and, at num_shards = 1, of the serial framework
+/// in different clothing.
+ShardSet BuildShardFrameworks(const FrameworkConfig& base, const EnvView* env,
+                              size_t worker_feature_dim,
+                              size_t task_feature_dim, int num_shards);
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_CORE_SHARDING_H_

@@ -8,8 +8,37 @@
 #include "baselines/taskrec_pmf.h"
 #include "common/check.h"
 #include "common/logging.h"
+#include "serve/serving_policy.h"
+#include "serve/sharded_service.h"
 
 namespace crowdrl {
+
+bool ParseShardedMethod(const std::string& method, int* num_shards,
+                        int* sessions_per_driver) {
+  constexpr const char kPrefix[] = "sharded_";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (method.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  const size_t x = method.find('x', kPrefixLen);
+  if (x == std::string::npos || x == kPrefixLen || x + 1 >= method.size()) {
+    return false;
+  }
+  // Each count caps at 4 digits: enough for any real topology, and it
+  // keeps the accumulation far from int overflow on fuzzed method names.
+  if (x - kPrefixLen > 4 || method.size() - (x + 1) > 4) return false;
+  int shards = 0, sessions = 0;
+  for (size_t i = kPrefixLen; i < x; ++i) {
+    if (method[i] < '0' || method[i] > '9') return false;
+    shards = shards * 10 + (method[i] - '0');
+  }
+  for (size_t i = x + 1; i < method.size(); ++i) {
+    if (method[i] < '0' || method[i] > '9') return false;
+    sessions = sessions * 10 + (method[i] - '0');
+  }
+  if (shards < 1 || sessions < 1) return false;
+  *num_shards = shards;
+  *sessions_per_driver = sessions;
+  return true;
+}
 
 Experiment::Experiment(const Dataset* dataset, const ExperimentConfig& config)
     : dataset_(dataset), config_(config) {
@@ -100,6 +129,33 @@ std::unique_ptr<Policy> Experiment::MakeBaseline(const std::string& method,
 
 MethodResult Experiment::RunMethod(const std::string& method,
                                    Objective objective) {
+  int num_shards = 0, sessions = 0;
+  if (ParseShardedMethod(method, &num_shards, &sessions)) {
+    // The DRL framework behind the full sharded serving stack, replayed by
+    // the (sequential) harness: every arrival is routed to its worker's
+    // shard, each shard learning only from its own partition. Inline
+    // learning with per-event publication keeps the run deterministic —
+    // and, at S = 1, bit-identical to the serial "ddqn" trajectory.
+    ReplayHarness harness(dataset_, config_.harness);
+    ServiceConfig service_cfg;
+    service_cfg.inline_learning = true;
+    service_cfg.publish_every_events = 1;
+    auto service = ShardedArrangementService::Create(
+        MakeFrameworkConfig(objective), &harness,
+        harness.worker_feature_dim(), harness.task_feature_dim(), num_shards,
+        service_cfg);
+    service->Start();
+    MethodResult result;
+    {
+      ShardedServingPolicy policy(service.get(), sessions);
+      result.method = policy.name();
+      result.run = harness.Run(&policy);
+      policy.FlushAll();
+    }
+    service->Stop();
+    return result;
+  }
+
   ReplayHarness harness(dataset_, config_.harness);
   std::unique_ptr<Policy> policy;
   if (method == "ddqn") {

@@ -56,11 +56,21 @@ struct MethodResult {
   RunResult run;
 };
 
+/// Parses a sharded-service method name of the form `sharded_<S>x<M>`
+/// (S ≥ 1 learner/replica shards behind the worker router, M ≥ 1 driver
+/// sessions rotated per arrival), e.g. "sharded_2x1", "sharded_4x2".
+/// Returns false (outputs untouched) when `method` is not of that form.
+bool ParseShardedMethod(const std::string& method, int* num_shards,
+                        int* sessions_per_driver);
+
 /// \brief Builds policies by name and replays them over a dataset with
 /// identical environments (fresh harness per run, shared config & seeds).
 ///
 /// Method names: "random", "taskrec", "greedy_cs", "greedy_nn", "linucb",
-/// "ddqn", "oracle".
+/// "ddqn", "oracle", plus the sharded serving topologies "sharded_<S>x<M>"
+/// (the DRL framework partitioned across S learner shards and driven
+/// through the arrangement service; "sharded_1x1" replays the exact serial
+/// "ddqn" trajectory through the full serving stack).
 class Experiment {
  public:
   Experiment(const Dataset* dataset, const ExperimentConfig& config);

@@ -506,12 +506,16 @@ Result<RunnerConfig> RunnerConfigFromFlags(const CliFlags& flags,
 
   if (flags.Has("methods")) {
     cfg.methods = SplitCommaList(flags.GetString(
-        "methods", "", "comma list: random,taskrec,greedy_cs,greedy_nn,linucb,ddqn,oracle"));
+        "methods", "",
+        "comma list: random,taskrec,greedy_cs,greedy_nn,linucb,ddqn,oracle,"
+        "sharded_<S>x<M>"));
     if (cfg.methods.empty()) {
       return Status::InvalidArgument("--methods must name at least one");
     }
   }
   for (const std::string& m : cfg.methods) {
+    int shards = 0, sessions = 0;
+    if (ParseShardedMethod(m, &shards, &sessions)) continue;
     if (std::find(KnownMethods().begin(), KnownMethods().end(), m) ==
         KnownMethods().end()) {
       std::string known;
@@ -519,8 +523,8 @@ Result<RunnerConfig> RunnerConfigFromFlags(const CliFlags& flags,
         if (!known.empty()) known += ", ";
         known += k;
       }
-      return Status::InvalidArgument("unknown method '" + m +
-                                     "' (known: " + known + ")");
+      return Status::InvalidArgument("unknown method '" + m + "' (known: " +
+                                     known + ", sharded_<S>x<M>)");
     }
     if (m == "taskrec" && cfg.objective != Objective::kWorkerBenefit) {
       return Status::InvalidArgument(

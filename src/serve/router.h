@@ -1,0 +1,54 @@
+#ifndef CROWDRL_SERVE_ROUTER_H_
+#define CROWDRL_SERVE_ROUTER_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+#include "core/sharding.h"
+
+namespace crowdrl {
+
+/// \brief Deterministic worker→shard routing strategy.
+///
+/// The router is the sharded service's one invariant-bearing decision: a
+/// worker's sessions, rank requests, arrival records and feedback must all
+/// land on the same shard, across requests *and across process restarts*,
+/// or the worker's learned history fragments across learners. Strategies
+/// must therefore be pure functions of the worker id (no load-dependent or
+/// time-dependent state) unless they externalize their mapping.
+class WorkerRouter {
+ public:
+  virtual ~WorkerRouter() = default;
+
+  /// Shard index in [0, num_shards) for `worker`. Must be deterministic:
+  /// equal (worker, num_shards) → equal result, always.
+  virtual size_t Route(WorkerId worker, size_t num_shards) const = 0;
+};
+
+/// Default strategy: the stable splitmix64 worker hash shared with
+/// core/sharding.h, so the serving router and the shard env views agree on
+/// ownership by construction. Uniform over shards for any id distribution,
+/// insensitive to insertion order, stable across restarts.
+class HashWorkerRouter final : public WorkerRouter {
+ public:
+  size_t Route(WorkerId worker, size_t num_shards) const override {
+    CROWDRL_DCHECK(num_shards > 0);
+    return static_cast<size_t>(
+        ShardOfWorker(worker, static_cast<int>(num_shards)));
+  }
+};
+
+/// Plain modulo partition — transparent shard assignment for tests and
+/// demos (worker w on shard w % S), not recommended when worker ids carry
+/// structure (sequential ranges stripe, but clustered ids skew).
+class ModuloWorkerRouter final : public WorkerRouter {
+ public:
+  size_t Route(WorkerId worker, size_t num_shards) const override {
+    CROWDRL_DCHECK(num_shards > 0);
+    return static_cast<size_t>(worker) % num_shards;
+  }
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_SERVE_ROUTER_H_

@@ -1,248 +1,22 @@
 #ifndef CROWDRL_SERVE_SERVICE_H_
 #define CROWDRL_SERVE_SERVICE_H_
 
-#include <atomic>
-#include <cstdint>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <shared_mutex>
-#include <string>
-#include <thread>
-#include <vector>
-
-#include "common/bounded_queue.h"
-#include "common/status.h"
-#include "common/stopwatch.h"
-#include "core/framework.h"
-#include "rl/local_buffer.h"
-#include "serve/snapshot.h"
+#include "serve/shard.h"
 
 namespace crowdrl {
 
-/// Tuning knobs of the asynchronous arrangement service.
-struct ServiceConfig {
-  /// Micro-batcher: up to `max_batch` concurrent Rank requests are
-  /// coalesced (waiting at most `batch_window_us` for stragglers) and
-  /// scored against a single snapshot in one batched inference pass.
-  size_t max_batch = 16;
-  int64_t batch_window_us = 200;
-  /// Bound on queued rank requests (backpressure on actors).
-  size_t request_queue_capacity = 1024;
-  /// Bound on queued transition blocks awaiting the learner.
-  size_t learner_queue_capacity = 256;
-  /// Per-session local buffer: feedback events accumulate locally and
-  /// flush to the learner in blocks of this many events.
-  size_t flush_block_events = 4;
-  /// Publish a fresh parameter snapshot every this many learned feedback
-  /// events (1 = after every event, the paper's per-feedback cadence).
-  int64_t publish_every_events = 1;
-  /// Synchronous learning: feedback is learned on the calling thread
-  /// (under the learner lock) instead of a dedicated learner thread.
-  /// With one actor this reproduces the serial framework bit-for-bit —
-  /// the equivalence tests rely on it.
-  bool inline_learning = false;
-  /// Reservoir bound of the rank-latency percentile accumulator.
-  size_t latency_max_samples = size_t{1} << 20;
-};
-
-/// Service-level counters and latency percentiles (see stats()).
-struct ServiceStats {
-  int64_t requests = 0;        ///< rank requests served
-  int64_t rejected = 0;        ///< rank requests after shutdown (fallback)
-  int64_t batches = 0;         ///< micro-batches executed
-  double mean_batch_size = 0;  ///< requests / batches
-  int64_t events_submitted = 0;  ///< feedback events entering the pipeline
-  int64_t events_processed = 0;  ///< feedback events learned
-  int64_t blocks_dropped = 0;    ///< flush blocks rejected after shutdown
-  uint64_t snapshot_version = 0;
-  int64_t rank_count = 0;
-  double rank_latency_mean_ms = 0;
-  double rank_latency_p50_ms = 0;
-  double rank_latency_p95_ms = 0;
-  double rank_latency_p99_ms = 0;
-  double rank_latency_max_ms = 0;
-};
-
-/// \brief Asynchronous arrangement service: many concurrent worker
-/// sessions against one continuously-learning framework.
+/// \brief The single-shard asynchronous arrangement service.
 ///
-/// The serial TaskArrangementFramework interleaves acting and learning on
-/// one thread, so ranking latency pays for every gradient step. This
-/// service splits the two (the Ape-X actor/learner architecture, adapted
-/// to the paper's per-feedback update model):
-///
-///  * N *actor* threads (one Session each) submit Rank requests into a
-///    bounded MPMC queue and, at feedback time, mint prioritized-replay
-///    transitions whose Bellman targets are computed against a published
-///    parameter snapshot;
-///  * one *batcher* thread coalesces concurrent Rank requests within a
-///    size/time window and scores the whole batch against a single
-///    snapshot in one batched inference pass;
-///  * per-actor LocalBuffers flush transition blocks into the learner
-///    queue;
-///  * one *learner* thread consumes the blocks, runs the existing DqnAgent
-///    per-transition update cadence, and publishes immutable versioned
-///    snapshots via atomic shared_ptr swap — actors never read live
-///    parameters, so no lock is held across inference.
-///
-/// Thread-safety contract for the environment: the framework reads its
-/// EnvView at transition-minting time (actor threads). Drive the service
-/// either from a single caller (the harness/ServingPolicy flow) or with an
-/// env whose reads are physically pure, e.g. the frozen-clock
-/// ServeWorkload. Arrival statistics are internally guarded (writers
-/// exclusive, predictor readers shared).
-class ArrangementService {
+/// All of the machinery — micro-batched inference, actor/learner split,
+/// snapshot chain, admission control — lives in ServiceShard; this is the
+/// S = 1 instantiation kept as the stable public name. A multi-core
+/// deployment composes S shards behind a worker router instead
+/// (ShardedArrangementService in serve/sharded_service.h), and the sharded
+/// service with one shard is bit-for-bit this class, the same way this
+/// class with one inline actor is bit-for-bit the serial framework.
+class ArrangementService final : public ServiceShard {
  public:
-  /// `framework` must outlive the service. The service takes over the
-  /// learning side: do not call the framework's mutating Policy methods
-  /// directly while the service is started.
-  explicit ArrangementService(TaskArrangementFramework* framework,
-                              const ServiceConfig& config = {});
-  ~ArrangementService();
-
-  ArrangementService(const ArrangementService&) = delete;
-  ArrangementService& operator=(const ArrangementService&) = delete;
-
-  /// Publishes the initial snapshot and launches the batcher (and, unless
-  /// inline_learning, the learner) thread.
-  void Start();
-
-  /// Drains both queues (every accepted request is fulfilled, every
-  /// flushed block learned) and joins the threads. Idempotent and final:
-  /// the service is one-shot (Start after Stop CHECK-fails — construct a
-  /// fresh instance instead). Sessions should Flush() before Stop —
-  /// blocks flushed afterwards are dropped and counted in
-  /// ServiceStats::blocks_dropped.
-  void Stop();
-
-  bool started() const { return started_; }
-  TaskArrangementFramework* framework() const { return framework_; }
-  const ServiceConfig& config() const { return config_; }
-
-  /// Feeds the "Worker Arrivals' Statistic" (thread-safe; writers are
-  /// serialized against concurrent predictor reads). Arrival times must be
-  /// nondecreasing across all callers.
-  void RecordArrival(const Observation& obs);
-
-  /// Decision state handed back with feedback — the service keeps no
-  /// per-decision state, so concurrent sessions never contend on it.
-  struct Ticket {
-    DecisionContext ctx;
-    uint64_t snapshot_version = 0;
-  };
-
-  /// \brief One actor's handle onto the service. Not thread-safe: one
-  /// Session per actor thread (its LocalBuffer is single-producer).
-  class Session {
-   public:
-    ~Session();
-
-    /// Blocking: enqueues the observation for the micro-batcher and waits
-    /// for the ranking. After Stop, returns the unpersonalized observation
-    /// order (a valid permutation) and counts the request as rejected.
-    std::vector<int> Rank(const Observation& obs, Ticket* ticket);
-
-    /// Mints this event's transitions against the current snapshot and
-    /// buffers them toward the learner (flushed in blocks). With
-    /// inline_learning the event is learned synchronously instead.
-    void Feedback(const Observation& obs, const Ticket& ticket,
-                  const std::vector<int>& ranking,
-                  const crowdrl::Feedback& feedback);
-
-    /// Flushes the partial block to the learner queue.
-    bool Flush();
-
-    int64_t events_submitted() const { return events_submitted_; }
-
-   private:
-    friend class ArrangementService;
-    explicit Session(ArrangementService* service);
-
-    ArrangementService* service_;
-    LocalBuffer<TransitionBlocks> buffer_;
-    int64_t events_submitted_ = 0;
-  };
-
-  std::unique_ptr<Session> NewSession();
-
-  /// Runs `fn` in the learner execution context (on the learner thread in
-  /// async mode, under the learner lock otherwise) and returns its status.
-  /// This is how anything that must not race with training — checkpointing,
-  /// warm-up history replay, OnInitEnd — reaches the framework.
-  Status RunOnLearner(std::function<Status()> fn);
-
-  /// Checkpoints the framework without pausing the actors: the save runs
-  /// in the learner context between gradient steps, so it always sees a
-  /// consistent (not mid-update) parameter state.
-  Status SaveState(const std::string& path);
-  /// Restores a checkpoint in the learner context and republishes.
-  Status LoadState(const std::string& path);
-
-  /// Publishes a fresh snapshot immediately (learner context).
-  void PublishNow();
-
-  std::shared_ptr<const PolicySnapshot> CurrentSnapshot() const {
-    return channel_.Load();
-  }
-
-  ServiceStats stats() const;
-
- private:
-  struct RankRequest {
-    const Observation* obs = nullptr;
-    Ticket* ticket = nullptr;
-    std::vector<int>* ranking = nullptr;
-    std::promise<void> done;
-    Stopwatch wait;
-  };
-
-  /// One learner-queue entry: either a batch of flushed transition blocks
-  /// or a command to run in learner context.
-  struct LearnerItem {
-    std::vector<TransitionBlocks> blocks;
-    std::function<Status()> command;
-    std::promise<Status>* command_done = nullptr;
-  };
-
-  void BatcherLoop();
-  void LearnerLoop();
-  /// Learner context only (learner_mu_ held).
-  void ApplyOneLocked(TransitionBlocks blocks);
-  void PublishLocked();
-  bool EnqueueBlocks(std::vector<TransitionBlocks>&& blocks);
-
-  TaskArrangementFramework* framework_;
-  ServiceConfig config_;
-
-  SnapshotChannel channel_;
-  BoundedQueue<RankRequest> request_queue_;
-  BoundedQueue<LearnerItem> learner_queue_;
-
-  std::thread batcher_;
-  std::thread learner_;
-  std::atomic<bool> started_{false};
-  std::atomic<bool> stopped_{false};
-
-  /// Serializes learner-state mutation (training, snapshot copies,
-  /// checkpoint IO) across the learner thread / inline feedback callers /
-  /// post-shutdown command execution.
-  std::mutex learner_mu_;
-  /// Arrival statistics: RecordArrival writes exclusively; transition
-  /// minting (predictors) and checkpointing read under shared locks.
-  std::shared_mutex arrivals_mu_;
-
-  // ---- statistics ----
-  mutable std::mutex stats_mu_;          // guards rank_latency_
-  PercentileAccumulator rank_latency_;   // seconds
-  std::atomic<int64_t> requests_{0};
-  std::atomic<int64_t> rejected_{0};
-  std::atomic<int64_t> batches_{0};
-  std::atomic<int64_t> events_submitted_{0};
-  std::atomic<int64_t> events_processed_{0};
-  std::atomic<int64_t> blocks_dropped_{0};
-  std::atomic<uint64_t> snapshot_version_{0};
+  using ServiceShard::ServiceShard;
 };
 
 }  // namespace crowdrl

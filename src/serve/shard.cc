@@ -1,4 +1,4 @@
-#include "serve/service.h"
+#include "serve/shard.h"
 
 #include <algorithm>
 #include <numeric>
@@ -8,8 +8,8 @@
 
 namespace crowdrl {
 
-ArrangementService::ArrangementService(TaskArrangementFramework* framework,
-                                       const ServiceConfig& config)
+ServiceShard::ServiceShard(TaskArrangementFramework* framework,
+                           const ServiceConfig& config)
     : framework_(framework),
       config_(config),
       request_queue_(config.request_queue_capacity),
@@ -18,26 +18,26 @@ ArrangementService::ArrangementService(TaskArrangementFramework* framework,
   CROWDRL_CHECK(framework != nullptr);
 }
 
-ArrangementService::~ArrangementService() { Stop(); }
+ServiceShard::~ServiceShard() { Stop(); }
 
-void ArrangementService::Start() {
-  CROWDRL_CHECK_MSG(!started_, "service already started");
+void ServiceShard::Start() {
+  CROWDRL_CHECK_MSG(!started_, "shard already started");
   // One-shot lifecycle: the queues close permanently on Stop, so a
-  // restarted service would be silently dead (every Rank degraded, every
+  // restarted shard would be silently dead (every Rank degraded, every
   // block dropped). Fail loudly instead.
-  CROWDRL_CHECK_MSG(!stopped_, "service is one-shot: construct a new one");
+  CROWDRL_CHECK_MSG(!stopped_, "shard is one-shot: construct a new one");
   {
     std::lock_guard<std::mutex> lk(learner_mu_);
     PublishLocked();  // version 1: the framework's pre-start parameters
   }
   started_ = true;
-  batcher_ = std::thread(&ArrangementService::BatcherLoop, this);
+  batcher_ = std::thread(&ServiceShard::BatcherLoop, this);
   if (!config_.inline_learning) {
-    learner_ = std::thread(&ArrangementService::LearnerLoop, this);
+    learner_ = std::thread(&ServiceShard::LearnerLoop, this);
   }
 }
 
-void ArrangementService::Stop() {
+void ServiceShard::Stop() {
   if (!started_) return;
   // Order matters: the batcher drains and fulfills every accepted rank
   // request before the learner queue closes, so feedback for in-flight
@@ -50,25 +50,19 @@ void ArrangementService::Stop() {
   stopped_ = true;
 }
 
-void ArrangementService::RecordArrival(const Observation& obs) {
+void ServiceShard::RecordArrival(const Observation& obs) {
   std::unique_lock<std::shared_mutex> lk(arrivals_mu_);
   framework_->OnArrival(obs);
 }
 
-void ArrangementService::PublishLocked() {
-  auto snapshot = std::make_shared<PolicySnapshot>();
-  snapshot->version = snapshot_version_.fetch_add(1) + 1;
-  if (const DqnAgent* agent = framework_->worker_agent()) {
-    snapshot->worker.emplace(QNetPair{agent->online(), agent->target_net()});
-  }
-  if (const DqnAgent* agent = framework_->requester_agent()) {
-    snapshot->requester.emplace(
-        QNetPair{agent->online(), agent->target_net()});
-  }
-  channel_.Publish(std::move(snapshot));
+void ServiceShard::PublishLocked() {
+  channel_.Publish(builder_.Build(framework_->worker_agent(),
+                                  framework_->requester_agent(),
+                                  snapshot_version_.fetch_add(1) + 1,
+                                  config_.snapshot_delta));
 }
 
-void ArrangementService::PublishNow() {
+void ServiceShard::PublishNow() {
   Status st = RunOnLearner([this] {
     PublishLocked();
     return Status::OK();
@@ -76,7 +70,7 @@ void ArrangementService::PublishNow() {
   CROWDRL_CHECK(st.ok());
 }
 
-void ArrangementService::ApplyOneLocked(TransitionBlocks blocks) {
+void ServiceShard::ApplyOneLocked(TransitionBlocks blocks) {
   framework_->ApplyTransitions(std::move(blocks));
   const int64_t processed = events_processed_.fetch_add(1) + 1;
   if (config_.publish_every_events > 0 &&
@@ -85,8 +79,7 @@ void ArrangementService::ApplyOneLocked(TransitionBlocks blocks) {
   }
 }
 
-bool ArrangementService::EnqueueBlocks(
-    std::vector<TransitionBlocks>&& blocks) {
+bool ServiceShard::EnqueueBlocks(std::vector<TransitionBlocks>&& blocks) {
   if (config_.inline_learning) {
     std::lock_guard<std::mutex> lk(learner_mu_);
     for (TransitionBlocks& b : blocks) ApplyOneLocked(std::move(b));
@@ -97,7 +90,7 @@ bool ArrangementService::EnqueueBlocks(
   return learner_queue_.Push(std::move(item));
 }
 
-Status ArrangementService::RunOnLearner(std::function<Status()> fn) {
+Status ServiceShard::RunOnLearner(std::function<Status()> fn) {
   if (!config_.inline_learning && started_) {
     std::promise<Status> done;
     std::future<Status> result = done.get_future();
@@ -114,7 +107,7 @@ Status ArrangementService::RunOnLearner(std::function<Status()> fn) {
   return fn();
 }
 
-void ArrangementService::LearnerLoop() {
+void ServiceShard::LearnerLoop() {
   while (auto item = learner_queue_.Pop()) {
     std::lock_guard<std::mutex> lk(learner_mu_);
     if (item->command) {
@@ -127,7 +120,7 @@ void ArrangementService::LearnerLoop() {
   }
 }
 
-void ArrangementService::BatcherLoop() {
+void ServiceShard::BatcherLoop() {
   std::vector<RankRequest> batch;
   std::vector<DecisionContext> contexts;
   std::vector<std::vector<double>> scores;
@@ -177,32 +170,45 @@ void ArrangementService::BatcherLoop() {
   }
 }
 
+std::vector<int> ServiceShard::FallbackRanking(const Observation& obs) const {
+  std::vector<int> ranking(obs.tasks.size());
+  std::iota(ranking.begin(), ranking.end(), 0);
+  if (config_.shed_fallback == RankFallback::kTaskQuality) {
+    // Score-policy order: descending current quality, stable ties — the
+    // same contract as the greedy score baselines, at array-sort cost.
+    std::stable_sort(ranking.begin(), ranking.end(), [&](int a, int b) {
+      return obs.tasks[a].quality > obs.tasks[b].quality;
+    });
+  }
+  return ranking;
+}
+
 // ---- Session ----
 
-ArrangementService::Session::Session(ArrangementService* service)
-    : service_(service),
+ServiceShard::Session::Session(ServiceShard* shard)
+    : shard_(shard),
       buffer_(
-          [service](std::vector<TransitionBlocks>&& blocks) {
-            if (!service->EnqueueBlocks(std::move(blocks))) {
-              service->blocks_dropped_.fetch_add(1);
+          [shard](std::vector<TransitionBlocks>&& blocks) {
+            if (!shard->EnqueueBlocks(std::move(blocks))) {
+              shard->blocks_dropped_.fetch_add(1);
               return false;
             }
             return true;
           },
           // Inline learning is synchronous per event: block size 1, so
           // Feedback() returns with the event already learned.
-          service->config_.inline_learning
+          shard->config_.inline_learning
               ? 1
-              : service->config_.flush_block_events) {}
+              : shard->config_.flush_block_events) {}
 
-ArrangementService::Session::~Session() { Flush(); }
+ServiceShard::Session::~Session() { Flush(); }
 
-std::unique_ptr<ArrangementService::Session> ArrangementService::NewSession() {
+std::unique_ptr<ServiceShard::Session> ServiceShard::NewSession() {
   return std::unique_ptr<Session>(new Session(this));
 }
 
-std::vector<int> ArrangementService::Session::Rank(const Observation& obs,
-                                                   Ticket* ticket) {
+std::vector<int> ServiceShard::Session::Rank(const Observation& obs,
+                                             Ticket* ticket) {
   CROWDRL_CHECK(ticket != nullptr);
   if (obs.tasks.empty()) {
     ticket->ctx = DecisionContext{};
@@ -214,47 +220,60 @@ std::vector<int> ArrangementService::Session::Rank(const Observation& obs,
   request.ticket = ticket;
   request.ranking = &ranking;
   std::future<void> done = request.done.get_future();
-  if (!service_->request_queue_.Push(std::move(request))) {
-    // Service stopped: degrade to the unpersonalized observation order so
-    // the caller still receives a full permutation.
-    service_->rejected_.fetch_add(1);
-    ranking.resize(obs.tasks.size());
-    std::iota(ranking.begin(), ranking.end(), 0);
+  using PushResult = BoundedQueue<RankRequest>::PushResult;
+  PushResult pushed;
+  if (shard_->config_.enqueue_budget_us < 0) {
+    pushed = shard_->request_queue_.Push(std::move(request))
+                 ? PushResult::kOk
+                 : PushResult::kClosed;
+  } else {
+    // Admission control: give the enqueue exactly the per-request budget,
+    // then shed — a degraded answer now beats a personalized answer the
+    // caller stopped waiting for.
+    pushed = shard_->request_queue_.TryPushFor(
+        std::move(request), shard_->config_.enqueue_budget_us);
+  }
+  if (pushed != PushResult::kOk) {
+    // Degraded mode: the caller still receives a full permutation. A shed
+    // request never reaches the batcher, so its ticket carries no decision
+    // context and its (non-)feedback never enters the learning stream.
+    (pushed == PushResult::kClosed ? shard_->rejected_ : shard_->shed_)
+        .fetch_add(1);
     ticket->ctx = DecisionContext{};
     ticket->snapshot_version = 0;
-    return ranking;
+    return shard_->FallbackRanking(obs);
   }
   done.get();
   return ranking;
 }
 
-void ArrangementService::Session::Feedback(const Observation& obs,
-                                           const Ticket& ticket,
-                                           const std::vector<int>& ranking,
-                                           const crowdrl::Feedback& feedback) {
+void ServiceShard::Session::Feedback(const Observation& obs,
+                                     const Ticket& ticket,
+                                     const std::vector<int>& ranking,
+                                     const crowdrl::Feedback& feedback) {
   if (obs.tasks.empty() || ticket.ctx.task_to_row.empty()) return;
   // Fresh snapshot for the Bellman targets: in inline mode this equals the
   // live parameters (published after every event); in async mode it is the
   // newest consistent view, the actor/learner staleness trade-off.
   const std::shared_ptr<const PolicySnapshot> snapshot =
-      service_->channel_.Load();
+      shard_->channel_.Load();
   TransitionBlocks blocks;
   {
-    std::shared_lock<std::shared_mutex> lk(service_->arrivals_mu_);
-    blocks = service_->framework_->MakeTransitions(obs, ticket.ctx, ranking,
-                                                   feedback,
-                                                   snapshot->View());
+    std::shared_lock<std::shared_mutex> lk(shard_->arrivals_mu_);
+    blocks = shard_->framework_->MakeTransitions(obs, ticket.ctx, ranking,
+                                                 feedback,
+                                                 snapshot->View());
   }
   ++events_submitted_;
-  service_->events_submitted_.fetch_add(1);
+  shard_->events_submitted_.fetch_add(1);
   buffer_.Add(std::move(blocks));
 }
 
-bool ArrangementService::Session::Flush() { return buffer_.Flush(); }
+bool ServiceShard::Session::Flush() { return buffer_.Flush(); }
 
 // ---- Checkpointing & stats ----
 
-Status ArrangementService::SaveState(const std::string& path) {
+Status ServiceShard::SaveState(const std::string& path) {
   return RunOnLearner([this, path] {
     // Shared arrivals lock: the statistic may keep moving for other
     // arrivals, but the serialized φ/ϕ state must not be torn mid-write.
@@ -263,7 +282,7 @@ Status ArrangementService::SaveState(const std::string& path) {
   });
 }
 
-Status ArrangementService::LoadState(const std::string& path) {
+Status ServiceShard::LoadState(const std::string& path) {
   return RunOnLearner([this, path] {
     Status st;
     {
@@ -275,10 +294,11 @@ Status ArrangementService::LoadState(const std::string& path) {
   });
 }
 
-ServiceStats ArrangementService::stats() const {
+ServiceStats ServiceShard::stats() const {
   ServiceStats out;
   out.requests = requests_.load();
   out.rejected = rejected_.load();
+  out.shed = shed_.load();
   out.batches = batches_.load();
   out.mean_batch_size =
       out.batches > 0
@@ -288,6 +308,8 @@ ServiceStats ArrangementService::stats() const {
   out.events_processed = events_processed_.load();
   out.blocks_dropped = blocks_dropped_.load();
   out.snapshot_version = channel_.version();
+  out.snapshot_nets_copied = builder_.nets_copied();
+  out.snapshot_nets_shared = builder_.nets_shared();
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     out.rank_count = rank_latency_.count();
@@ -299,6 +321,11 @@ ServiceStats ArrangementService::stats() const {
     out.rank_latency_max_ms = rank_latency_.max() * 1e3;
   }
   return out;
+}
+
+PercentileAccumulator ServiceShard::latency_accumulator() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return rank_latency_;
 }
 
 }  // namespace crowdrl

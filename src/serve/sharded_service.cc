@@ -1,0 +1,153 @@
+#include "serve/sharded_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+ShardedArrangementService::ShardedArrangementService(
+    std::vector<TaskArrangementFramework*> frameworks,
+    const ServiceConfig& shard_config, std::unique_ptr<WorkerRouter> router)
+    : router_(router ? std::move(router)
+                     : std::make_unique<HashWorkerRouter>()) {
+  CROWDRL_CHECK_MSG(!frameworks.empty(), "need at least one shard");
+  shards_.reserve(frameworks.size());
+  for (TaskArrangementFramework* framework : frameworks) {
+    shards_.push_back(std::make_unique<ServiceShard>(framework, shard_config));
+  }
+}
+
+std::unique_ptr<ShardedArrangementService> ShardedArrangementService::Create(
+    const FrameworkConfig& base, const EnvView* env,
+    size_t worker_feature_dim, size_t task_feature_dim, int num_shards,
+    const ServiceConfig& shard_config, std::unique_ptr<WorkerRouter> router) {
+  ShardSet set = BuildShardFrameworks(base, env, worker_feature_dim,
+                                      task_feature_dim, num_shards);
+  auto service = std::unique_ptr<ShardedArrangementService>(
+      new ShardedArrangementService(set.Pointers(), shard_config,
+                                    std::move(router)));
+  service->owned_ = std::move(set);
+  return service;
+}
+
+ShardedArrangementService::~ShardedArrangementService() { Stop(); }
+
+void ShardedArrangementService::Start() {
+  for (auto& shard : shards_) shard->Start();
+  started_ = true;
+}
+
+void ShardedArrangementService::Stop() {
+  if (!started_) return;
+  // Shards are independent; a sequential drain keeps shutdown simple and
+  // each shard's accepted-work guarantees intact.
+  for (auto& shard : shards_) shard->Stop();
+  started_ = false;
+}
+
+void ShardedArrangementService::RecordArrival(const Observation& obs) {
+  shards_[ShardOf(obs.worker)]->RecordArrival(obs);
+}
+
+std::unique_ptr<ShardedArrangementService::Session>
+ShardedArrangementService::NewSession() {
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+Status ShardedArrangementService::SaveState(const std::string& path) {
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    CROWDRL_RETURN_NOT_OK(
+        shards_[k]->SaveState(path + ".shard" + std::to_string(k)));
+  }
+  return Status::OK();
+}
+
+Status ShardedArrangementService::LoadState(const std::string& path) {
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    CROWDRL_RETURN_NOT_OK(
+        shards_[k]->LoadState(path + ".shard" + std::to_string(k)));
+  }
+  return Status::OK();
+}
+
+void ShardedArrangementService::PublishNow() {
+  for (auto& shard : shards_) shard->PublishNow();
+}
+
+ShardedServiceStats ShardedArrangementService::stats() const {
+  ShardedServiceStats out;
+  out.per_shard.reserve(shards_.size());
+  PercentileAccumulator merged;
+  for (const auto& shard : shards_) {
+    ServiceStats s = shard->stats();
+    out.aggregate.requests += s.requests;
+    out.aggregate.rejected += s.rejected;
+    out.aggregate.shed += s.shed;
+    out.aggregate.batches += s.batches;
+    out.aggregate.events_submitted += s.events_submitted;
+    out.aggregate.events_processed += s.events_processed;
+    out.aggregate.blocks_dropped += s.blocks_dropped;
+    // Shards version independently; the aggregate reports the most
+    // advanced chain (a sum would be meaningless as a version).
+    out.aggregate.snapshot_version =
+        std::max(out.aggregate.snapshot_version, s.snapshot_version);
+    out.aggregate.snapshot_nets_copied += s.snapshot_nets_copied;
+    out.aggregate.snapshot_nets_shared += s.snapshot_nets_shared;
+    merged.Merge(shard->latency_accumulator());
+    out.per_shard.push_back(std::move(s));
+  }
+  out.aggregate.mean_batch_size =
+      out.aggregate.batches > 0
+          ? static_cast<double>(out.aggregate.requests) /
+                static_cast<double>(out.aggregate.batches)
+          : 0.0;
+  out.aggregate.rank_count = merged.count();
+  out.aggregate.rank_latency_mean_ms = merged.mean() * 1e3;
+  const std::vector<double> tail = merged.Percentiles({50, 95, 99});
+  out.aggregate.rank_latency_p50_ms = tail[0] * 1e3;
+  out.aggregate.rank_latency_p95_ms = tail[1] * 1e3;
+  out.aggregate.rank_latency_p99_ms = tail[2] * 1e3;
+  out.aggregate.rank_latency_max_ms = merged.max() * 1e3;
+  return out;
+}
+
+// ---- Session ----
+
+ShardedArrangementService::Session::Session(
+    ShardedArrangementService* service)
+    : service_(service), per_shard_(service->num_shards()) {}
+
+ServiceShard::Session* ShardedArrangementService::Session::SessionFor(
+    size_t shard) {
+  if (!per_shard_[shard]) {
+    per_shard_[shard] = service_->shard(shard)->NewSession();
+  }
+  return per_shard_[shard].get();
+}
+
+std::vector<int> ShardedArrangementService::Session::Rank(
+    const Observation& obs, Ticket* ticket) {
+  CROWDRL_CHECK(ticket != nullptr);
+  ticket->shard = service_->ShardOf(obs.worker);
+  return SessionFor(ticket->shard)->Rank(obs, &ticket->inner);
+}
+
+void ShardedArrangementService::Session::Feedback(
+    const Observation& obs, const Ticket& ticket,
+    const std::vector<int>& ranking, const crowdrl::Feedback& feedback) {
+  // The ticket pins the shard that ranked; with a deterministic router it
+  // equals ShardOf(obs.worker), so feedback meets the decision's learner.
+  SessionFor(ticket.shard)->Feedback(obs, ticket.inner, ranking, feedback);
+}
+
+bool ShardedArrangementService::Session::Flush() {
+  bool ok = true;
+  for (auto& session : per_shard_) {
+    if (session) ok = session->Flush() && ok;
+  }
+  return ok;
+}
+
+}  // namespace crowdrl

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <utility>
 
 #include "core/framework.h"
@@ -12,12 +11,19 @@
 
 namespace crowdrl {
 
-/// Owned copy of one agent's (online, target) parameter pair. Immutable
-/// once inside a published PolicySnapshot.
-struct QNetPair {
-  SetQNetwork online;
-  SetQNetwork target;
-  QNetView View() const { return {&online, &target}; }
+/// One agent's (online, target) parameter pair inside a snapshot. The nets
+/// are immutable owned copies, held by shared_ptr so consecutive snapshot
+/// versions can share any net that did not change between publishes
+/// (delta-publication): a target network, for instance, is identical for
+/// `target_sync_every` learner steps in a row, and copying it on every
+/// per-feedback publish would be pure waste.
+struct SharedQNetPair {
+  std::shared_ptr<const SetQNetwork> online;
+  std::shared_ptr<const SetQNetwork> target;
+
+  bool has_value() const { return online != nullptr; }
+  explicit operator bool() const { return has_value(); }
+  QNetView View() const { return {online.get(), target.get()}; }
 };
 
 /// \brief One immutable, versioned copy of the framework's learned
@@ -29,18 +35,94 @@ struct QNetPair {
 /// even while version v+1 is being trained. This generalizes the DQN
 /// online/target-network split one level up: target networks stabilize
 /// *learning* against a moving bootstrap; snapshots stabilize *serving*
-/// against a moving learner.
+/// against a moving learner. A pair is empty (has_value() false) when the
+/// objective disables that MDP's network.
 struct PolicySnapshot {
   uint64_t version = 0;
-  std::optional<QNetPair> worker;
-  std::optional<QNetPair> requester;
+  SharedQNetPair worker;
+  SharedQNetPair requester;
 
   ScoringView View() const {
     ScoringView view;
-    if (worker) view.worker = worker->View();
-    if (requester) view.requester = requester->View();
+    if (worker) view.worker = worker.View();
+    if (requester) view.requester = requester.View();
     return view;
   }
+};
+
+/// \brief Builds PolicySnapshots from live agents with per-net
+/// copy-on-write (the delta-publication satellite of the sharding PR).
+///
+/// The builder caches, per net, the last published immutable copy together
+/// with the agent's mutation counter at publish time. On the next Build,
+/// any net whose counter is unchanged reuses the cached shared_ptr — no
+/// allocation, no parameter copy — and only genuinely mutated nets are
+/// deep-copied. Adam updates every layer of the online net each gradient
+/// step, so per-layer tracking would never beat per-net tracking here: the
+/// online nets copy whenever a step happened, the target nets (half the
+/// snapshot bytes) copy only at sync, and an idle agent copies nothing.
+///
+/// Not thread-safe: call from the learner context only (the snapshot
+/// *channel* is the cross-thread hand-off, not the builder). The copy
+/// counters are atomics so stats readers may sample them lock-free.
+class SnapshotBuilder {
+ public:
+  /// Snapshot of `worker`/`requester` (either may be null) labelled with
+  /// `version`. With `delta` false every present net is deep-copied — the
+  /// pre-delta behaviour, kept for A/B measurement.
+  std::shared_ptr<const PolicySnapshot> Build(const DqnAgent* worker,
+                                              const DqnAgent* requester,
+                                              uint64_t version, bool delta) {
+    auto snapshot = std::make_shared<PolicySnapshot>();
+    snapshot->version = version;
+    if (worker != nullptr) {
+      snapshot->worker.online = Snap(worker->online(),
+                                     worker->online_version(), delta,
+                                     &worker_online_);
+      snapshot->worker.target = Snap(worker->target_net(),
+                                     worker->target_version(), delta,
+                                     &worker_target_);
+    }
+    if (requester != nullptr) {
+      snapshot->requester.online = Snap(requester->online(),
+                                        requester->online_version(), delta,
+                                        &requester_online_);
+      snapshot->requester.target = Snap(requester->target_net(),
+                                        requester->target_version(), delta,
+                                        &requester_target_);
+    }
+    return snapshot;
+  }
+
+  /// Nets deep-copied / reused across all Build calls so far.
+  int64_t nets_copied() const { return copied_.load(); }
+  int64_t nets_shared() const { return shared_.load(); }
+
+ private:
+  struct CachedNet {
+    bool valid = false;
+    uint64_t version = 0;
+    std::shared_ptr<const SetQNetwork> net;
+  };
+
+  std::shared_ptr<const SetQNetwork> Snap(const SetQNetwork& live,
+                                          uint64_t version, bool delta,
+                                          CachedNet* cache) {
+    if (delta && cache->valid && cache->version == version) {
+      shared_.fetch_add(1, std::memory_order_relaxed);
+      return cache->net;
+    }
+    copied_.fetch_add(1, std::memory_order_relaxed);
+    cache->net = std::make_shared<const SetQNetwork>(live);
+    cache->version = version;
+    cache->valid = true;
+    return cache->net;
+  }
+
+  CachedNet worker_online_, worker_target_;
+  CachedNet requester_online_, requester_target_;
+  std::atomic<int64_t> copied_{0};
+  std::atomic<int64_t> shared_{0};
 };
 
 /// \brief Single-writer / multi-reader snapshot publication point.

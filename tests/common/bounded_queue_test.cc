@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
+
+#include "common/stopwatch.h"
 
 namespace crowdrl {
 namespace {
@@ -123,6 +126,97 @@ TEST(BoundedQueueTest, ConcurrentProducersConsumersConserveItems) {
   const long long n = kProducers * kPerProducer;
   EXPECT_EQ(popped.load(), n);
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ---- TryPushFor: the admission-control push ----
+
+using PushResult = BoundedQueue<int>::PushResult;
+
+TEST(BoundedQueueTest, TryPushForEnqueuesWhenSpaceIsFree) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.TryPushFor(1, /*budget_us=*/0), PushResult::kOk);
+  EXPECT_EQ(q.TryPushFor(2, /*budget_us=*/0), PushResult::kOk);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, TryPushForTimesOutOnFullQueue) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(7));
+  // Zero budget: a single full check, no wait.
+  EXPECT_EQ(q.TryPushFor(8, /*budget_us=*/0), PushResult::kTimeout);
+  // Small budget with no consumer: the deadline elapses.
+  EXPECT_EQ(q.TryPushFor(8, /*budget_us=*/2000), PushResult::kTimeout);
+  EXPECT_EQ(q.size(), 1u);  // the timed-out items were dropped
+  EXPECT_EQ(*q.Pop(), 7);
+}
+
+TEST(BoundedQueueTest, TryPushForSucceedsWhenConsumerFreesSpaceInBudget) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(7));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(*q.Pop(), 7);
+  });
+  // Generous budget: the push must latch on as soon as the pop frees a
+  // slot, well before the deadline.
+  EXPECT_EQ(q.TryPushFor(8, /*budget_us=*/2000000), PushResult::kOk);
+  consumer.join();
+  EXPECT_EQ(*q.Pop(), 8);
+}
+
+TEST(BoundedQueueTest, TryPushForOnClosedQueueReportsClosed) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  EXPECT_EQ(q.TryPushFor(1, /*budget_us=*/0), PushResult::kClosed);
+  EXPECT_EQ(q.TryPushFor(1, /*budget_us=*/1000), PushResult::kClosed);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedTryPushForWithClosed) {
+  // The close/TryPushFor race: a producer parked mid-budget on a full
+  // queue must be released by Close with kClosed (not left to ride out
+  // its budget, and never reported as a mere timeout after shutdown).
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] {
+    const Stopwatch wait;
+    EXPECT_EQ(q.TryPushFor(2, /*budget_us=*/30000000),  // 30 s budget
+              PushResult::kClosed);
+    EXPECT_LT(wait.ElapsedSeconds(), 10.0);  // released by Close, not budget
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, ConcurrentTryPushForAndCloseNeverLosesAccounting) {
+  // Hammer the race from many sides: every TryPushFor outcome must be
+  // kOk, kTimeout or kClosed, and exactly the kOk items may be drained.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q(2);
+  std::atomic<int> ok{0}, timeout{0}, closed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        switch (q.TryPushFor(i, /*budget_us=*/50)) {
+          case PushResult::kOk: ++ok; break;
+          case PushResult::kTimeout: ++timeout; break;
+          case PushResult::kClosed: ++closed; break;
+        }
+      }
+    });
+  }
+  std::atomic<int> drained{0};
+  std::thread consumer([&] {
+    while (q.Pop()) ++drained;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.Close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(ok + timeout + closed, kProducers * kPerProducer);
+  EXPECT_EQ(drained.load(), ok.load());
 }
 
 }  // namespace

@@ -57,6 +57,54 @@ TEST(PercentileAccumulatorTest, DecimationKeepsPercentilesApproximate) {
   EXPECT_NEAR(capped.Percentile(95), 0.95, 0.15);
 }
 
+TEST(PercentileAccumulatorTest, MergeEqualsUnionBelowCap) {
+  // Below the sample caps (stride 1 everywhere) a merge is exact: the
+  // merged accumulator is indistinguishable from one that saw the
+  // concatenated series.
+  PercentileAccumulator a, b, whole;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    (i % 2 == 0 ? a : b).Add(x);
+    whole.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), whole.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(PercentileAccumulatorTest, MergeHandlesEmptySides) {
+  PercentileAccumulator a, empty;
+  for (int i = 1; i <= 10; ++i) a.Add(i);
+  a.Merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 10);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.5);
+
+  PercentileAccumulator into;
+  into.Merge(a);  // merge into empty adopts the other side wholesale
+  EXPECT_EQ(into.count(), 10);
+  EXPECT_DOUBLE_EQ(into.max(), 10.0);
+  EXPECT_DOUBLE_EQ(into.Percentile(50), a.Percentile(50));
+}
+
+TEST(PercentileAccumulatorTest, MergeRespectsSampleCap) {
+  PercentileAccumulator a(/*max_samples=*/32), b(/*max_samples=*/32);
+  for (int i = 0; i < 3000; ++i) {
+    a.Add(i % 101);
+    b.Add(100 - (i % 101));
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 6000);
+  EXPECT_LT(a.retained_samples(), 32u);
+  // Both sides saw the same value distribution; the merged median must
+  // land near it even through decimation.
+  EXPECT_NEAR(a.Percentile(50), 50.0, 15.0);
+}
+
 TEST(PercentileAccumulatorTest, DecimationIsDeterministic) {
   PercentileAccumulator a(/*max_samples=*/32), b(/*max_samples=*/32);
   for (int i = 0; i < 5000; ++i) {

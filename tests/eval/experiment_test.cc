@@ -91,5 +91,62 @@ TEST(ExperimentTest, RunFrameworkHonoursCustomLabel) {
   EXPECT_EQ(r.method, "my-label");
 }
 
+// ---- sharded_<S>x<M> methods: the serving stack behind the harness ----
+
+TEST(ExperimentTest, ParseShardedMethodAcceptsOnlyWellFormedNames) {
+  int shards = -1, sessions = -1;
+  EXPECT_TRUE(ParseShardedMethod("sharded_1x1", &shards, &sessions));
+  EXPECT_EQ(shards, 1);
+  EXPECT_EQ(sessions, 1);
+  EXPECT_TRUE(ParseShardedMethod("sharded_4x2", &shards, &sessions));
+  EXPECT_EQ(shards, 4);
+  EXPECT_EQ(sessions, 2);
+  EXPECT_TRUE(ParseShardedMethod("sharded_16x12", &shards, &sessions));
+  EXPECT_EQ(shards, 16);
+  EXPECT_EQ(sessions, 12);
+
+  shards = sessions = -1;
+  for (const char* bad :
+       {"ddqn", "sharded", "sharded_", "sharded_2", "sharded_x2",
+        "sharded_2x", "sharded_0x1", "sharded_1x0", "sharded_2x2x2",
+        "sharded_ax2", "sharded_2xb", "SHARDED_2x2",
+        // Counts cap at 4 digits — overlong digit runs must be rejected,
+        // not silently wrapped through int overflow.
+        "sharded_99999x1", "sharded_1x4294967297"}) {
+    EXPECT_FALSE(ParseShardedMethod(bad, &shards, &sessions)) << bad;
+    EXPECT_EQ(shards, -1) << bad << " touched outputs on failure";
+    EXPECT_EQ(sessions, -1) << bad << " touched outputs on failure";
+  }
+}
+
+TEST(ExperimentTest, ShardedOneByOneReplaysTheSerialDdqnTrajectory) {
+  // The full serving stack (router, shard, inline learner, snapshot
+  // chain) behind the standard experiment interface must reproduce the
+  // serial "ddqn" run bit-for-bit at S = 1.
+  MethodResult serial = Experiment(&TinyDataset(), TinyExperiment())
+                            .RunMethod("ddqn", Objective::kWorkerBenefit);
+  MethodResult sharded =
+      Experiment(&TinyDataset(), TinyExperiment())
+          .RunMethod("sharded_1x1", Objective::kWorkerBenefit);
+  EXPECT_EQ(serial.run.arrivals_evaluated, sharded.run.arrivals_evaluated);
+  EXPECT_EQ(serial.run.completions, sharded.run.completions);
+  EXPECT_EQ(serial.run.final_metrics.cr, sharded.run.final_metrics.cr);
+  EXPECT_EQ(serial.run.final_metrics.kcr, sharded.run.final_metrics.kcr);
+  EXPECT_EQ(serial.run.final_metrics.ndcg_cr,
+            sharded.run.final_metrics.ndcg_cr);
+}
+
+TEST(ExperimentTest, ShardedMultiShardMethodRunsAndIsReproducible) {
+  MethodResult a = Experiment(&TinyDataset(), TinyExperiment())
+                       .RunMethod("sharded_2x2", Objective::kWorkerBenefit);
+  MethodResult b = Experiment(&TinyDataset(), TinyExperiment())
+                       .RunMethod("sharded_2x2", Objective::kWorkerBenefit);
+  EXPECT_GT(a.run.arrivals_evaluated, 0);
+  EXPECT_EQ(a.method, "DDQN@serve/s2");
+  EXPECT_EQ(a.run.final_metrics.cr, b.run.final_metrics.cr);
+  EXPECT_EQ(a.run.final_metrics.ndcg_cr, b.run.final_metrics.ndcg_cr);
+  EXPECT_EQ(a.run.completions, b.run.completions);
+}
+
 }  // namespace
 }  // namespace crowdrl

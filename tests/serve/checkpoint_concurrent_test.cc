@@ -149,8 +149,8 @@ TEST(ServeCheckpointTest, LoadPublishesRestoredParametersToActors) {
   // checkpoint restore (LoadState hard-syncs the target).
   const auto snap = service.CurrentSnapshot();
   ASSERT_TRUE(snap->worker.has_value());
-  const auto po = snap->worker->online.Params();
-  const auto pt = snap->worker->target.Params();
+  const auto po = snap->worker.online->Params();
+  const auto pt = snap->worker.target->Params();
   for (size_t i = 0; i < po.size(); ++i) {
     EXPECT_EQ(Matrix::MaxAbsDiff(*po[i], *pt[i]), 0.0f);
   }

@@ -1,0 +1,429 @@
+// The sharded service's contracts, in strength order: (1) with S = 1 the
+// whole sharded stack — router, shard, inline learner, snapshot chain —
+// is *bit-for-bit* the serial framework; (2) S > 1 runs are deterministic
+// for a fixed seed and shard count; (3) every rank request is answered
+// with a full valid permutation, including shed and post-shutdown ones,
+// and the stats account for each of them; (4) feedback always reaches the
+// shard that owns the worker, and cross-shard stats merge exactly.
+#include "serve/sharded_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "serve/serving_policy.h"
+#include "serve/workload.h"
+#include "tensor/matrix.h"
+
+namespace crowdrl {
+namespace {
+
+SyntheticConfig SmallTrace() {
+  SyntheticConfig cfg;
+  cfg.scale = 0.05;
+  cfg.eval_months = 2;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+FrameworkConfig SmallFrameworkConfig() {
+  FrameworkConfig cfg = FrameworkConfig::Defaults();
+  cfg.worker_dqn.net.hidden_dim = 16;
+  cfg.worker_dqn.net.num_heads = 2;
+  cfg.worker_dqn.batch_size = 8;
+  cfg.worker_dqn.replay.capacity = 256;
+  cfg.requester_dqn.net.hidden_dim = 16;
+  cfg.requester_dqn.net.num_heads = 2;
+  cfg.requester_dqn.batch_size = 8;
+  cfg.requester_dqn.replay.capacity = 256;
+  cfg.predictor.max_segments = 3;
+  cfg.max_failed_stored = 2;
+  cfg.warmup_learn_steps = 20;
+  cfg.seed = 77;
+  return cfg;
+}
+
+ServiceConfig InlineServiceConfig() {
+  ServiceConfig cfg;
+  cfg.inline_learning = true;
+  cfg.publish_every_events = 1;  // snapshot == live nets, always
+  return cfg;
+}
+
+void ExpectNetsIdentical(const DqnAgent* a, const DqnAgent* b) {
+  ASSERT_EQ(a != nullptr, b != nullptr);
+  if (a == nullptr) return;
+  const auto pa = a->online().Params();
+  const auto pb = b->online().Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(Matrix::MaxAbsDiff(*pa[i], *pb[i]), 0.0f)
+        << "online param " << i << " diverged";
+  }
+  const auto ta = a->target_net().Params();
+  const auto tb = b->target_net().Params();
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(Matrix::MaxAbsDiff(*ta[i], *tb[i]), 0.0f)
+        << "target param " << i << " diverged";
+  }
+  EXPECT_EQ(a->stored(), b->stored());
+  EXPECT_EQ(a->learn_steps(), b->learn_steps());
+}
+
+void ExpectRunsBitEqual(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.arrivals_evaluated, b.arrivals_evaluated);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.final_metrics.cr, b.final_metrics.cr);
+  EXPECT_EQ(a.final_metrics.kcr, b.final_metrics.kcr);
+  EXPECT_EQ(a.final_metrics.ndcg_cr, b.final_metrics.ndcg_cr);
+  EXPECT_EQ(a.final_metrics.qg, b.final_metrics.qg);
+  EXPECT_EQ(a.final_metrics.kqg, b.final_metrics.kqg);
+  EXPECT_EQ(a.final_metrics.ndcg_qg, b.final_metrics.ndcg_qg);
+}
+
+// ---- (1) S = 1: the sharded stack collapses to the serial framework ----
+
+TEST(ShardedServiceTest, OneShardInlineBitMatchesSerialFramework) {
+  const Dataset dataset = SyntheticGenerator(SmallTrace()).Generate();
+  ASSERT_TRUE(dataset.Validate().ok());
+  HarnessConfig harness_cfg;
+  harness_cfg.seed = 5;
+
+  // Serial reference.
+  ReplayHarness serial_harness(&dataset, harness_cfg);
+  TaskArrangementFramework serial(
+      SmallFrameworkConfig(), &serial_harness,
+      serial_harness.worker_feature_dim(), serial_harness.task_feature_dim());
+  const RunResult serial_result = serial_harness.Run(&serial);
+
+  // Same trace and seeds through the full sharded stack with one shard.
+  // BuildShardFrameworks keeps shard 0's config bit-identical to the base,
+  // so any divergence below is the serving machinery's fault.
+  ReplayHarness sharded_harness(&dataset, harness_cfg);
+  ShardSet set = BuildShardFrameworks(
+      SmallFrameworkConfig(), &sharded_harness,
+      sharded_harness.worker_feature_dim(),
+      sharded_harness.task_feature_dim(), /*num_shards=*/1);
+  ShardedArrangementService service(set.Pointers(), InlineServiceConfig());
+  service.Start();
+  RunResult sharded_result;
+  {
+    ShardedServingPolicy policy(&service);
+    sharded_result = sharded_harness.Run(&policy);
+    policy.FlushAll();
+  }
+  service.Stop();
+
+  ExpectRunsBitEqual(serial_result, sharded_result);
+  TaskArrangementFramework* sharded = set.frameworks[0].get();
+  EXPECT_EQ(serial.explorer().steps(), sharded->explorer().steps());
+  EXPECT_EQ(serial.transitions_stored(), sharded->transitions_stored());
+  ExpectNetsIdentical(serial.worker_agent(), sharded->worker_agent());
+  ExpectNetsIdentical(serial.requester_agent(), sharded->requester_agent());
+
+  // The run really went through the sharded machinery, and the aggregate
+  // equals the one shard's own accounting.
+  const ShardedServiceStats stats = service.stats();
+  ASSERT_EQ(stats.per_shard.size(), 1u);
+  EXPECT_EQ(stats.aggregate.requests, serial_result.arrivals_evaluated);
+  EXPECT_EQ(stats.aggregate.requests, stats.per_shard[0].requests);
+  EXPECT_EQ(stats.aggregate.shed, 0);
+  EXPECT_EQ(stats.aggregate.events_processed,
+            stats.aggregate.events_submitted);
+}
+
+// ---- (2) S > 1: fixed seed + shard count ⇒ reproducible run ----
+
+TEST(ShardedServiceTest, MultiShardRunsAreDeterministic) {
+  const Dataset dataset = SyntheticGenerator(SmallTrace()).Generate();
+  HarnessConfig harness_cfg;
+  harness_cfg.seed = 5;
+
+  // Everything a rerun must reproduce, copied out before the run's
+  // harness/env views are torn down.
+  struct RunSnapshot {
+    RunResult run;
+    std::vector<int64_t> explorer_steps;
+    std::vector<int64_t> stored;
+    std::vector<std::vector<Matrix>> params;  // per shard, all nets
+  };
+
+  auto run_once = [&]() {
+    ReplayHarness harness(&dataset, harness_cfg);
+    ShardSet set = BuildShardFrameworks(
+        SmallFrameworkConfig(), &harness, harness.worker_feature_dim(),
+        harness.task_feature_dim(), /*num_shards=*/3);
+    ShardedArrangementService service(set.Pointers(), InlineServiceConfig());
+    service.Start();
+    RunSnapshot out;
+    {
+      // Two rotated driver sessions: the multi-session buffer/flush path
+      // must not perturb determinism either.
+      ShardedServingPolicy policy(&service, /*sessions_per_driver=*/2);
+      out.run = harness.Run(&policy);
+      policy.FlushAll();
+    }
+    service.Stop();
+    for (const auto& framework : set.frameworks) {
+      out.explorer_steps.push_back(framework->explorer().steps());
+      out.stored.push_back(framework->transitions_stored());
+      std::vector<Matrix> params;
+      for (const DqnAgent* agent :
+           {framework->worker_agent(), framework->requester_agent()}) {
+        if (agent == nullptr) continue;
+        for (const Matrix* p : agent->online().Params()) params.push_back(*p);
+        for (const Matrix* p : agent->target_net().Params()) {
+          params.push_back(*p);
+        }
+      }
+      out.params.push_back(std::move(params));
+    }
+    return out;
+  };
+
+  const RunSnapshot a = run_once();
+  const RunSnapshot b = run_once();
+
+  ExpectRunsBitEqual(a.run, b.run);
+  EXPECT_EQ(a.explorer_steps, b.explorer_steps);
+  EXPECT_EQ(a.stored, b.stored);
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t s = 0; s < a.params.size(); ++s) {
+    ASSERT_EQ(a.params[s].size(), b.params[s].size()) << "shard " << s;
+    for (size_t i = 0; i < a.params[s].size(); ++i) {
+      EXPECT_EQ(Matrix::MaxAbsDiff(a.params[s][i], b.params[s][i]), 0.0f)
+          << "shard " << s << " param " << i << " diverged between reruns";
+    }
+  }
+}
+
+// ---- (4) routing: every event lands on the worker's owner shard ----
+
+TEST(ShardedServiceTest, FeedbackReachesOwnerShardOnly) {
+  const Dataset dataset = SyntheticGenerator(SmallTrace()).Generate();
+  HarnessConfig harness_cfg;
+  harness_cfg.seed = 5;
+  ReplayHarness harness(&dataset, harness_cfg);
+  ShardSet set = BuildShardFrameworks(
+      SmallFrameworkConfig(), &harness, harness.worker_feature_dim(),
+      harness.task_feature_dim(), /*num_shards=*/3);
+  ShardedArrangementService service(set.Pointers(), InlineServiceConfig());
+  service.Start();
+  RunResult result;
+  {
+    ShardedServingPolicy policy(&service);
+    result = harness.Run(&policy);
+    policy.FlushAll();
+  }
+  service.Stop();
+
+  const ShardedServiceStats stats = service.stats();
+  ASSERT_EQ(stats.per_shard.size(), 3u);
+  // The router's assignment is visible in the per-shard request counters:
+  // they sum to the run's arrivals, every shard's feedback was learned by
+  // its own learner, and (with this trace) no shard sat idle.
+  int64_t requests = 0;
+  for (size_t s = 0; s < stats.per_shard.size(); ++s) {
+    const ServiceStats& shard = stats.per_shard[s];
+    requests += shard.requests;
+    EXPECT_EQ(shard.events_processed, shard.events_submitted)
+        << "shard " << s;
+    EXPECT_GT(shard.requests, 0) << "shard " << s << " never ranked";
+    // A shard only stores transitions for workers it owns.
+    EXPECT_EQ(set.frameworks[s]->transitions_stored() > 0,
+              shard.events_submitted > 0);
+  }
+  EXPECT_EQ(requests, result.arrivals_evaluated);
+  EXPECT_EQ(stats.aggregate.requests, requests);
+  // Aggregate latency percentiles merge the raw per-shard series: the
+  // merged count is the sum, and the merged max is the max of maxima.
+  int64_t rank_count = 0;
+  double max_ms = 0;
+  for (const ServiceStats& shard : stats.per_shard) {
+    rank_count += shard.rank_count;
+    max_ms = std::max(max_ms, shard.rank_latency_max_ms);
+  }
+  EXPECT_EQ(stats.aggregate.rank_count, rank_count);
+  EXPECT_DOUBLE_EQ(stats.aggregate.rank_latency_max_ms, max_ms);
+}
+
+// ---- (3) admission control: shed, counted, never silently dropped ----
+
+std::vector<int> SortedCopy(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(ShardedServiceTest, ShedRequestsGetFallbackRankingAndAreCounted) {
+  // A zero enqueue budget against a capacity-1 request queue under
+  // concurrent load: some requests must find the queue full and shed.
+  // Every caller still receives a full permutation, and the accounting
+  // requests + shed == issued holds exactly — nothing silently dropped.
+  ServeWorkloadConfig wl_cfg;
+  wl_cfg.num_workers = 32;
+  wl_cfg.num_tasks = 32;
+  wl_cfg.pool_size = 8;
+  const ServeWorkload workload(wl_cfg);
+
+  FrameworkConfig fw_cfg = SmallFrameworkConfig();
+  fw_cfg.learn_from_history = false;
+  ShardSet set = BuildShardFrameworks(fw_cfg, &workload,
+                                      workload.worker_feature_dim(),
+                                      workload.task_feature_dim(),
+                                      /*num_shards=*/1);
+  ServiceConfig service_cfg;
+  service_cfg.request_queue_capacity = 1;
+  service_cfg.enqueue_budget_us = 0;  // shed on the first full check
+  service_cfg.publish_every_events = 4;
+  ShardedArrangementService service(set.Pointers(), service_cfg);
+  service.Start();
+
+  constexpr int kThreads = 4;
+  std::atomic<int64_t> issued{0};
+  std::atomic<int64_t> observed_shed{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> actors;
+  for (int t = 0; t < kThreads; ++t) {
+    actors.emplace_back([&, t] {
+      Rng rng(900 + static_cast<uint64_t>(t));
+      auto session = service.NewSession();
+      for (int i = 0; i < 500 && !done.load(); ++i) {
+        const Observation obs = workload.MakeObservation(
+            issued.fetch_add(1), &rng);
+        ShardedArrangementService::Ticket ticket;
+        const std::vector<int> ranking = session->Rank(obs, &ticket);
+        // Shed or served, the answer is a full valid permutation.
+        ASSERT_EQ(ranking.size(), obs.tasks.size());
+        std::vector<int> identity(obs.tasks.size());
+        std::iota(identity.begin(), identity.end(), 0);
+        ASSERT_EQ(SortedCopy(ranking), identity);
+        // Feedback for everything, shed or not: a shed ticket carries no
+        // decision context, so its feedback must be a learning no-op (the
+        // decision never existed) — only served events enter the stream.
+        session->Feedback(obs, ticket, ranking,
+                          workload.SimulateFeedback(obs, ranking, &rng));
+        if (ticket.inner.snapshot_version == 0) {
+          observed_shed.fetch_add(1);
+          if (observed_shed.load() >= 3) done.store(true);
+        }
+      }
+      session->Flush();
+    });
+  }
+  for (auto& t : actors) t.join();
+  service.Stop();
+
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_GT(stats.aggregate.shed, 0) << "contended capacity-1 queue with a "
+                                        "zero budget never shed";
+  EXPECT_EQ(stats.aggregate.shed, observed_shed.load());
+  EXPECT_EQ(stats.aggregate.requests + stats.aggregate.shed, issued.load());
+  EXPECT_EQ(stats.aggregate.rejected, 0);
+  // Shed feedbacks never entered the learning stream.
+  EXPECT_EQ(stats.aggregate.events_submitted,
+            issued.load() - stats.aggregate.shed);
+  EXPECT_EQ(stats.aggregate.events_processed,
+            stats.aggregate.events_submitted);
+}
+
+TEST(ShardedServiceTest, PostShutdownRanksUseTaskQualityFallback) {
+  // After Stop every Rank is rejected (counted separately from shed) and
+  // served the configured fallback: score-policy order — tasks by current
+  // quality, descending, stable ties.
+  ServeWorkloadConfig wl_cfg;
+  wl_cfg.num_workers = 8;
+  wl_cfg.num_tasks = 16;
+  wl_cfg.pool_size = 6;
+  const ServeWorkload workload(wl_cfg);
+
+  FrameworkConfig fw_cfg = SmallFrameworkConfig();
+  fw_cfg.learn_from_history = false;
+  ShardSet set = BuildShardFrameworks(fw_cfg, &workload,
+                                      workload.worker_feature_dim(),
+                                      workload.task_feature_dim(),
+                                      /*num_shards=*/2);
+  ServiceConfig service_cfg;
+  service_cfg.shed_fallback = RankFallback::kTaskQuality;
+  ShardedArrangementService service(set.Pointers(), service_cfg);
+  service.Start();
+  service.Stop();
+
+  auto session = service.NewSession();
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    const Observation obs = workload.MakeObservation(i, &rng);
+    ShardedArrangementService::Ticket ticket;
+    const std::vector<int> ranking = session->Rank(obs, &ticket);
+    ASSERT_EQ(ranking.size(), obs.tasks.size());
+    for (size_t pos = 0; pos + 1 < ranking.size(); ++pos) {
+      const double a = obs.tasks[static_cast<size_t>(ranking[pos])].quality;
+      const double b =
+          obs.tasks[static_cast<size_t>(ranking[pos + 1])].quality;
+      EXPECT_GE(a, b) << "fallback not in descending task-quality order";
+      if (a == b) {
+        // Stable ties: original observation order preserved.
+        EXPECT_LT(ranking[pos], ranking[pos + 1]);
+      }
+    }
+  }
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.aggregate.rejected, 8);
+  EXPECT_EQ(stats.aggregate.shed, 0);
+  EXPECT_EQ(stats.aggregate.requests, 0);
+}
+
+// ---- snapshot delta-publication through the full service ----
+
+TEST(ShardedServiceTest, DeltaPublicationSharesUnchangedNets) {
+  const Dataset dataset = SyntheticGenerator(SmallTrace()).Generate();
+  HarnessConfig harness_cfg;
+  harness_cfg.seed = 5;
+
+  auto run_with_delta = [&](bool delta) {
+    ReplayHarness harness(&dataset, harness_cfg);
+    ShardSet set = BuildShardFrameworks(
+        SmallFrameworkConfig(), &harness, harness.worker_feature_dim(),
+        harness.task_feature_dim(), /*num_shards=*/1);
+    ServiceConfig cfg = InlineServiceConfig();
+    cfg.snapshot_delta = delta;
+    ShardedArrangementService service(set.Pointers(), cfg);
+    service.Start();
+    RunResult result;
+    {
+      ShardedServingPolicy policy(&service);
+      result = harness.Run(&policy);
+      policy.FlushAll();
+    }
+    service.Stop();
+    struct Out {
+      RunResult run;
+      ServiceStats stats;
+    };
+    return Out{result, service.stats().aggregate};
+  };
+
+  const auto delta_on = run_with_delta(true);
+  const auto delta_off = run_with_delta(false);
+
+  // Delta-publication is a publish-cost optimization, not a behaviour
+  // change: the two runs are bit-identical trajectories.
+  ExpectRunsBitEqual(delta_on.run, delta_off.run);
+  EXPECT_EQ(delta_on.stats.snapshot_version, delta_off.stats.snapshot_version);
+
+  // With per-event publication most publishes happen between learner
+  // steps, where no net changed — delta mode must reuse aggressively,
+  // full-copy mode never does.
+  EXPECT_GT(delta_on.stats.snapshot_nets_shared, 0);
+  EXPECT_LT(delta_on.stats.snapshot_nets_copied,
+            delta_off.stats.snapshot_nets_copied);
+  EXPECT_EQ(delta_off.stats.snapshot_nets_shared, 0);
+}
+
+}  // namespace
+}  // namespace crowdrl
