@@ -28,6 +28,107 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+// ---- kernel A/B pairs: retained scalar reference vs shipped kernel ----
+// Same shapes, same inputs; the Ref variants run the naive scalar loops in
+// ops.cc's `reference` namespace, the non-Ref variants run the blocked
+// (optionally AVX2) kernels. check_bench.sh compares the pairs.
+
+void BM_MatmulRef(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::Uniform(n, n, &rng);
+  Matrix b = Matrix::Uniform(n, n, &rng);
+  for (auto _ : state) {
+    Matrix c = reference::Matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulRef)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTransposeB(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(12);
+  Matrix a = Matrix::Uniform(n, n, &rng);
+  Matrix b = Matrix::Uniform(n, n, &rng);
+  Matrix c;
+  for (auto _ : state) {
+    MatmulTransposeBInto(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulTransposeB)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTransposeBRef(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(12);
+  Matrix a = Matrix::Uniform(n, n, &rng);
+  Matrix b = Matrix::Uniform(n, n, &rng);
+  for (auto _ : state) {
+    Matrix c = reference::MatmulTransposeB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulTransposeBRef)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FusedMaskedSoftmax(benchmark::State& state) {
+  // The attention scoring shape: scale + prefix column mask + softmax,
+  // fused into one pass over each row.
+  const size_t n = state.range(0);
+  const size_t valid = (3 * n) / 4;
+  Rng rng(13);
+  Matrix base = Matrix::Uniform(n, n, &rng);
+  std::vector<uint8_t> mask(n, 0);
+  for (size_t j = 0; j < valid; ++j) mask[j] = 1;
+  Matrix m;
+  for (auto _ : state) {
+    m = base;
+    ScaledMaskedSoftmaxRowsInPlace(&m, 0.25f, &mask, static_cast<long>(valid));
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_FusedMaskedSoftmax)->Arg(64)->Arg(256);
+
+void BM_MaskedSoftmaxRef(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const size_t valid = (3 * n) / 4;
+  Rng rng(13);
+  Matrix base = Matrix::Uniform(n, n, &rng);
+  std::vector<uint8_t> mask(n, 0);
+  for (size_t j = 0; j < valid; ++j) mask[j] = 1;
+  Matrix m;
+  for (auto _ : state) {
+    m = base;
+    reference::ScaledMaskedSoftmaxRows(&m, 0.25f, &mask,
+                                       static_cast<long>(valid));
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_MaskedSoftmaxRef)->Arg(64)->Arg(256);
+
+void BM_QNetworkForwardInto(benchmark::State& state) {
+  // The serve hot path variant of BM_QNetworkForward: warm workspace, zero
+  // steady-state allocations.
+  const size_t pool = state.range(0);
+  SetQNetworkConfig cfg;
+  cfg.input_dim = 50;
+  cfg.hidden_dim = 128;
+  cfg.num_heads = 4;
+  Rng rng(4);
+  SetQNetwork net(cfg, &rng);
+  Matrix x = Matrix::Uniform(pool, 50, &rng);
+  SetQNetwork::Cache cache;
+  std::vector<double> q;
+  net.QValuesInto(x, pool, &cache, &q);  // warm
+  for (auto _ : state) {
+    net.QValuesInto(x, pool, &cache, &q);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_QNetworkForwardInto)->Arg(16)->Arg(57)->Arg(128)->Arg(512);
+
 void BM_SoftmaxRows(benchmark::State& state) {
   const size_t n = state.range(0);
   Rng rng(2);

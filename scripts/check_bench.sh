@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Guard the kernel A/B pairs in a google-benchmark JSON file: the shipped
+# blocked kernels must not run slower than their retained scalar references
+# beyond a generous noise margin. This is a regression tripwire for shared
+# CI runners, not a performance assertion — locally the blocked kernels are
+# expected to win outright (see BENCH_micro.json).
+#
+# Usage: scripts/check_bench.sh <benchmark.json> [max_ratio]
+#   max_ratio: kernel_cpu_time / reference_cpu_time ceiling (default 1.25)
+set -euo pipefail
+
+JSON="${1:?usage: check_bench.sh <benchmark.json> [max_ratio]}"
+MAX_RATIO="${2:-1.25}"
+
+python3 - "$JSON" "$MAX_RATIO" <<'PY'
+import json
+import sys
+
+path, max_ratio = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    doc = json.load(f)
+
+# name -> cpu_time for plain (non-aggregate) entries.
+times = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type", "iteration") == "iteration":
+        times[b["name"]] = float(b["cpu_time"])
+
+# (kernel prefix, reference prefix): compared at every shared /arg suffix.
+PAIRS = [
+    ("BM_Matmul", "BM_MatmulRef"),
+    ("BM_MatmulTransposeB", "BM_MatmulTransposeBRef"),
+    ("BM_FusedMaskedSoftmax", "BM_MaskedSoftmaxRef"),
+]
+
+failures = []
+compared = 0
+for kernel, ref in PAIRS:
+    for name, ref_t in times.items():
+        if not name.startswith(ref + "/"):
+            continue
+        suffix = name[len(ref):]
+        kernel_name = kernel + suffix
+        if kernel_name not in times:
+            continue
+        compared += 1
+        ratio = times[kernel_name] / ref_t
+        status = "ok" if ratio <= max_ratio else "FAIL"
+        print(f"  {kernel_name:36s} vs {name:36s} ratio={ratio:5.2f}  {status}")
+        if ratio > max_ratio:
+            failures.append(kernel_name)
+
+if compared == 0:
+    sys.exit(f"no A/B pairs found in {path} — wrong file?")
+if failures:
+    sys.exit(
+        f"{len(failures)} kernel(s) slower than their scalar reference "
+        f"beyond the {max_ratio:.2f}x margin: {', '.join(failures)}"
+    )
+print(f"check_bench: {compared} A/B pairs within the {max_ratio:.2f}x margin")
+PY

@@ -62,11 +62,17 @@ class PercentileAccumulator {
   void Add(double x) {
     mean_ += (x - mean_) / static_cast<double>(n_ + 1);
     max_ = n_ == 0 ? x : std::max(max_, x);
-    if (n_ % stride_ == 0) {
-      samples_.push_back(x);
-      if (samples_.size() >= max_samples_) Compact();
-    }
     ++n_;
+    // Retention phase is tracked by a skip counter, not by n_ % stride_:
+    // n_ also advances on Merge (by the donor's count), which would shift
+    // the receiver's decimation phase arbitrarily.
+    if (skip_ > 0) {
+      --skip_;
+      return;
+    }
+    samples_.push_back(x);
+    if (samples_.size() >= max_samples_) Compact();
+    skip_ = stride_ - 1;
   }
 
   /// The p-th percentile (p in [0, 100]) of the retained sample, with
@@ -92,10 +98,12 @@ class PercentileAccumulator {
   }
 
   /// Folds another accumulator into this one (cross-shard aggregation of
-  /// per-shard latency series). Count, mean and max merge exactly. The
-  /// retained samples are concatenated, so when the two accumulators have
-  /// decimated at different strides the merged percentiles weight their
-  /// streams slightly unevenly — an approximation that is exact while both
+  /// per-shard latency series). Count, mean and max merge exactly. Before
+  /// concatenating the retained samples, the side that decimated at the
+  /// finer stride is thinned to the coarser one (strides are powers of
+  /// two, so the thinning factor is an exact integer) — both streams then
+  /// carry equal weight per retained sample, and subsequent Add calls
+  /// decimate at the adopted stride with a fresh phase. Exact while both
   /// sides are below their sample caps.
   void Merge(const PercentileAccumulator& other) {
     if (other.n_ == 0) return;
@@ -104,9 +112,14 @@ class PercentileAccumulator {
              other.mean_ * static_cast<double>(other.n_)) /
             static_cast<double>(n_ + other.n_);
     n_ += other.n_;
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
+    const size_t target = std::max(stride_, other.stride_);
+    ThinTo(&samples_, stride_, target);
+    std::vector<double> donor(other.samples_);
+    ThinTo(&donor, other.stride_, target);
+    stride_ = target;
+    samples_.insert(samples_.end(), donor.begin(), donor.end());
     while (samples_.size() >= max_samples_) Compact();
+    skip_ = stride_ - 1;
   }
 
   double mean() const { return mean_; }
@@ -136,8 +149,22 @@ class PercentileAccumulator {
     stride_ *= 2;
   }
 
+  /// Thins a sample vector retained at `from_stride` down to `to_stride`
+  /// by keeping every (to/from)-th entry. No-op when already coarse enough.
+  static void ThinTo(std::vector<double>* samples, size_t from_stride,
+                     size_t to_stride) {
+    if (from_stride >= to_stride) return;
+    const size_t factor = to_stride / from_stride;
+    size_t kept = 0;
+    for (size_t i = 0; i < samples->size(); i += factor) {
+      (*samples)[kept++] = (*samples)[i];
+    }
+    samples->resize(kept);
+  }
+
   size_t max_samples_;
   size_t stride_ = 1;
+  size_t skip_ = 0;  // observations to drop before the next retention
   int64_t n_ = 0;
   double mean_ = 0;
   double max_ = 0;

@@ -26,12 +26,21 @@ class Aggregator {
   /// task rows.
   std::vector<double> Combine(const std::vector<double>& q_worker,
                               const std::vector<double>& q_requester) const {
-    CROWDRL_CHECK(q_worker.size() == q_requester.size());
-    std::vector<double> out(q_worker.size());
-    for (size_t i = 0; i < out.size(); ++i) {
-      out[i] = w_ * q_worker[i] + (1.0 - w_) * q_requester[i];
-    }
+    std::vector<double> out;
+    CombineInto(q_worker, q_requester, &out);
     return out;
+  }
+
+  /// Destination-passing Combine (resized in place; allocation-free once
+  /// warm). `out` may alias either input.
+  void CombineInto(const std::vector<double>& q_worker,
+                   const std::vector<double>& q_requester,
+                   std::vector<double>* out) const {
+    CROWDRL_CHECK(q_worker.size() == q_requester.size());
+    out->resize(q_worker.size());
+    for (size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = w_ * q_worker[i] + (1.0 - w_) * q_requester[i];
+    }
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "nn/workspace.h"
 
 namespace crowdrl {
 
@@ -111,13 +112,15 @@ bool DqnAgent::LearnStep() {
   pool.ParallelFor(chunks, [&](size_t ci) {
     const size_t lo = ci * batch / chunks;
     const size_t hi = (ci + 1) * batch / chunks;
-    SetQNetwork::Cache cache;
+    // Thread-local workspace: the forward pass reuses the same warm
+    // buffers the serve path uses on this pool thread.
+    SetQNetwork::Cache& cache = InferenceWorkspace::ThreadLocal().cache;
     for (size_t i = lo; i < hi; ++i) {
       const Transition& tr = replay_.at(samples[i].slot);
       const double y = config_.recompute_targets_on_replay
                            ? ComputeTarget(tr.reward, tr.future)
                            : tr.target;
-      const Matrix q = online_.Forward(tr.state, tr.valid_n, &cache);
+      const Matrix& q = online_.ForwardInto(tr.state, tr.valid_n, &cache);
       CROWDRL_CHECK(tr.action_row >= 0 &&
                     tr.action_row < static_cast<int>(q.rows()));
       const double delta = q(tr.action_row, 0) - y;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <fstream>
 
+#include "nn/workspace.h"
+
 namespace crowdrl {
 
 FrameworkConfig FrameworkConfig::Defaults() {
@@ -89,36 +91,60 @@ ScoringView TaskArrangementFramework::LiveView() const {
 DecisionContext TaskArrangementFramework::BuildDecision(
     const Observation& obs) const {
   DecisionContext ctx;
-  if (use_worker_net()) ctx.worker_built = worker_state_.Build(obs);
-  if (use_requester_net()) ctx.requester_built = requester_state_.Build(obs);
-  if (use_worker_net() && use_requester_net()) {
-    CROWDRL_CHECK(ctx.worker_built.row_to_task ==
-                  ctx.requester_built.row_to_task);
-  }
-  const std::vector<int>& row_to_task = use_worker_net()
-                                            ? ctx.worker_built.row_to_task
-                                            : ctx.requester_built.row_to_task;
-  ctx.task_to_row.assign(obs.tasks.size(), -1);
-  for (size_t row = 0; row < row_to_task.size(); ++row) {
-    ctx.task_to_row[row_to_task[row]] = static_cast<int>(row);
-  }
+  BuildDecisionInto(obs, &ctx);
   return ctx;
+}
+
+void TaskArrangementFramework::BuildDecisionInto(const Observation& obs,
+                                                 DecisionContext* ctx) const {
+  if (use_worker_net()) worker_state_.BuildInto(obs, &ctx->worker_built);
+  if (use_requester_net()) {
+    requester_state_.BuildInto(obs, &ctx->requester_built);
+  }
+  if (use_worker_net() && use_requester_net()) {
+    CROWDRL_CHECK(ctx->worker_built.row_to_task ==
+                  ctx->requester_built.row_to_task);
+  }
+  const std::vector<int>& row_to_task =
+      use_worker_net() ? ctx->worker_built.row_to_task
+                       : ctx->requester_built.row_to_task;
+  ctx->task_to_row.assign(obs.tasks.size(), -1);
+  for (size_t row = 0; row < row_to_task.size(); ++row) {
+    ctx->task_to_row[row_to_task[row]] = static_cast<int>(row);
+  }
 }
 
 std::vector<double> TaskArrangementFramework::ScoreDecision(
     const DecisionContext& ctx, const ScoringView& view) const {
-  std::vector<double> qw, qr;
-  if (use_worker_net()) {
-    qw = view.worker.online->QValues(ctx.worker_built.matrix,
-                                     ctx.worker_built.valid_n);
+  std::vector<double> out;
+  ScoreDecisionInto(ctx, view, &out);
+  return out;
+}
+
+void TaskArrangementFramework::ScoreDecisionInto(
+    const DecisionContext& ctx, const ScoringView& view,
+    std::vector<double>* out) const {
+  // The networks' activations and the per-MDP Q vectors live in the
+  // calling thread's workspace; `out` is the only buffer the caller sees.
+  InferenceWorkspace& ws = InferenceWorkspace::ThreadLocal();
+  const bool w = use_worker_net(), r = use_requester_net();
+  if (w) {
+    view.worker.online->QValuesInto(ctx.worker_built.matrix,
+                                    ctx.worker_built.valid_n, &ws.cache,
+                                    &ws.qw);
   }
-  if (use_requester_net()) {
-    qr = view.requester.online->QValues(ctx.requester_built.matrix,
-                                        ctx.requester_built.valid_n);
+  if (r) {
+    view.requester.online->QValuesInto(ctx.requester_built.matrix,
+                                       ctx.requester_built.valid_n, &ws.cache,
+                                       &ws.qr);
   }
-  if (qw.empty()) return qr;
-  if (qr.empty()) return qw;
-  return aggregator_.Combine(qw, qr);
+  if (!w) {
+    *out = ws.qr;
+  } else if (!r) {
+    *out = ws.qw;
+  } else {
+    aggregator_.CombineInto(ws.qw, ws.qr, out);
+  }
 }
 
 std::vector<double> TaskArrangementFramework::CombinedScores(

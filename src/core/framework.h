@@ -150,9 +150,20 @@ class TaskArrangementFramework : public Policy {
   /// observation. Pure with respect to the framework.
   DecisionContext BuildDecision(const Observation& obs) const;
 
+  /// Destination-passing BuildDecision: a warm `ctx` is rebuilt with zero
+  /// heap allocations (the serve batcher keeps one per batch slot).
+  void BuildDecisionInto(const Observation& obs, DecisionContext* ctx) const;
+
   /// Combined (aggregated) scores of a built decision against `view`.
   std::vector<double> ScoreDecision(const DecisionContext& ctx,
                                     const ScoringView& view) const;
+
+  /// Destination-passing ScoreDecision through the calling thread's
+  /// InferenceWorkspace: with warm thread-local buffers and a warm `out`
+  /// the whole scoring pass (two Q-network forwards + aggregation) is
+  /// allocation-free. This is the serve hot path.
+  void ScoreDecisionInto(const DecisionContext& ctx, const ScoringView& view,
+                         std::vector<double>* out) const;
 
   /// Turns combined scores into a full ranking of obs.tasks indices,
   /// injecting the annealed exploration. Mutates the explorer — call from

@@ -21,7 +21,17 @@ size_t StateTransformer::input_dim() const {
 }
 
 BuiltState StateTransformer::Build(const Observation& obs) const {
-  std::vector<int> order(obs.tasks.size());
+  BuiltState out;
+  BuildInto(obs, &out);
+  return out;
+}
+
+void StateTransformer::BuildInto(const Observation& obs,
+                                 BuiltState* out) const {
+  // Stage the task order directly in out->row_to_task so the only scratch
+  // vector this function needs is one the destination already owns.
+  std::vector<int>& order = out->row_to_task;
+  order.resize(obs.tasks.size());
   std::iota(order.begin(), order.end(), 0);
   if (config_.max_tasks > 0 && order.size() > config_.max_tasks) {
     // Keep the maxT tasks that remain available the longest.
@@ -32,26 +42,36 @@ BuiltState StateTransformer::Build(const Observation& obs) const {
     order.resize(config_.max_tasks);
     std::sort(order.begin(), order.end());  // restore observation order
   }
-  return BuildWithWorker(obs.worker_features, obs.worker_quality, obs, order);
+  BuildWithWorkerInto(obs.worker_features, obs.worker_quality, obs, order,
+                      nullptr, out);
 }
 
 BuiltState StateTransformer::BuildWithWorker(
     const std::vector<float>& worker_features, double worker_quality,
     const Observation& obs, const std::vector<int>& order,
     const std::vector<double>* quality_override) const {
-  CROWDRL_CHECK(worker_features.size() == worker_dim_);
   BuiltState out;
-  out.valid_n = order.size();
+  BuildWithWorkerInto(worker_features, worker_quality, obs, order,
+                      quality_override, &out);
+  return out;
+}
+
+void StateTransformer::BuildWithWorkerInto(
+    const std::vector<float>& worker_features, double worker_quality,
+    const Observation& obs, const std::vector<int>& order,
+    const std::vector<double>* quality_override, BuiltState* out) const {
+  CROWDRL_CHECK(worker_features.size() == worker_dim_);
+  out->valid_n = order.size();
   const size_t rows = config_.pad_to_max && config_.max_tasks > 0
                           ? std::max(config_.max_tasks, order.size())
                           : order.size();
-  out.matrix = Matrix(rows, input_dim());
-  out.row_to_task = order;
+  out->matrix.Resize(rows, input_dim());
+  if (&order != &out->row_to_task) out->row_to_task = order;
   for (size_t r = 0; r < order.size(); ++r) {
     const TaskSnapshot& snap = obs.tasks[order[r]];
     CROWDRL_CHECK(snap.features != nullptr &&
                   snap.features->size() == task_dim_);
-    float* row = out.matrix.row_data(r);
+    float* row = out->matrix.row_data(r);
     std::copy(worker_features.begin(), worker_features.end(), row);
     std::copy(snap.features->begin(), snap.features->end(),
               row + worker_dim_);
@@ -71,7 +91,12 @@ BuiltState StateTransformer::BuildWithWorker(
       row[offset + 1] = static_cast<float>(qt);
     }
   }
-  return out;
+  // Resize leaves contents unspecified, so the zero-padding rows must be
+  // written explicitly.
+  for (size_t r = order.size(); r < rows; ++r) {
+    float* row = out->matrix.row_data(r);
+    std::fill(row, row + out->matrix.cols(), 0.0f);
+  }
 }
 
 }  // namespace crowdrl

@@ -56,6 +56,11 @@ class StateTransformer {
   /// possibly truncated to the maxT latest-deadline tasks).
   BuiltState Build(const Observation& obs) const;
 
+  /// Destination-passing Build: reuses `out`'s matrix and row_to_task
+  /// buffers, so a warm BuiltState rebuilds without heap allocation (the
+  /// serve batcher keeps one per batch slot).
+  void BuildInto(const Observation& obs, BuiltState* out) const;
+
   /// Builds a state from explicit components — used by the future-state
   /// predictors, which substitute a *hypothetical* worker feature/quality.
   /// `order` selects and orders the tasks (indices into `obs.tasks`).
@@ -64,6 +69,14 @@ class StateTransformer {
                              const std::vector<int>& order,
                              const std::vector<double>* quality_override =
                                  nullptr) const;
+
+  /// Destination-passing BuildWithWorker. `order` may alias
+  /// `out->row_to_task` (BuildInto stages the order there).
+  void BuildWithWorkerInto(const std::vector<float>& worker_features,
+                           double worker_quality, const Observation& obs,
+                           const std::vector<int>& order,
+                           const std::vector<double>* quality_override,
+                           BuiltState* out) const;
 
  private:
   StateConfig config_;

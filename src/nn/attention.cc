@@ -19,15 +19,30 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t num_heads,
 
 namespace {
 
-/// Extracts the column block [h*hd, (h+1)*hd) of `m` as a new matrix.
-Matrix HeadSlice(const Matrix& m, size_t h, size_t hd) {
-  Matrix out(m.rows(), hd);
+/// Extracts the column block [h*hd, (h+1)*hd) of `m` into `out` (resized
+/// in place, so a warm destination allocates nothing).
+void HeadSliceInto(const Matrix& m, size_t h, size_t hd, Matrix* out) {
+  out->Resize(m.rows(), hd);
   for (size_t r = 0; r < m.rows(); ++r) {
     const float* src = m.row_data(r) + h * hd;
-    float* dst = out.row_data(r);
+    float* dst = out->row_data(r);
     for (size_t c = 0; c < hd; ++c) dst[c] = src[c];
   }
+}
+
+Matrix HeadSlice(const Matrix& m, size_t h, size_t hd) {
+  Matrix out;
+  HeadSliceInto(m, h, hd, &out);
   return out;
+}
+
+/// Overwrites the column block h of `m` with `block`.
+void SetHeadSlice(Matrix* m, const Matrix& block, size_t h, size_t hd) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* dst = m->row_data(r) + h * hd;
+    const float* src = block.row_data(r);
+    for (size_t c = 0; c < hd; ++c) dst[c] = src[c];
+  }
 }
 
 /// Adds `block` into the column block h of `m`.
@@ -49,46 +64,53 @@ void ZeroPadRows(Matrix* m, size_t valid_n) {
 
 }  // namespace
 
-Matrix MultiHeadSelfAttention::Forward(const Matrix& x, size_t valid_n,
-                                       Cache* cache) const {
+void MultiHeadSelfAttention::ForwardInto(const Matrix& x, size_t valid_n,
+                                         Cache* cache, Matrix* out) const {
   CROWDRL_CHECK(x.cols() == dim());
   CROWDRL_CHECK(valid_n <= x.rows());
+  CROWDRL_CHECK(out != &x);
   const size_t n = x.rows();
   const size_t hd = head_dim();
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
   cache->x = x;
   cache->valid_n = valid_n;
-  cache->q = Matmul(x, wq_);
-  cache->k = Matmul(x, wk_);
-  cache->v = Matmul(x, wv_);
-  cache->probs.assign(num_heads_, Matrix());
-  cache->concat = Matrix(n, dim());
+  MatmulInto(x, wq_, &cache->q);
+  MatmulInto(x, wk_, &cache->k);
+  MatmulInto(x, wv_, &cache->v);
+  if (cache->probs.size() != num_heads_) cache->probs.resize(num_heads_);
+  cache->concat.Resize(n, dim());
 
-  std::vector<uint8_t> col_mask;
   if (use_mask_) {
-    col_mask.assign(n, 0);
-    for (size_t i = 0; i < valid_n; ++i) col_mask[i] = 1;
+    cache->col_mask.assign(n, 0);
+    for (size_t i = 0; i < valid_n; ++i) cache->col_mask[i] = 1;
   }
 
   for (size_t h = 0; h < num_heads_; ++h) {
-    Matrix qh = HeadSlice(cache->q, h, hd);
-    Matrix kh = HeadSlice(cache->k, h, hd);
-    Matrix vh = HeadSlice(cache->v, h, hd);
-    Matrix scores = MatmulTransposeB(qh, kh);
-    scores *= scale;
+    HeadSliceInto(cache->q, h, hd, &cache->qh);
+    HeadSliceInto(cache->k, h, hd, &cache->kh);
+    HeadSliceInto(cache->v, h, hd, &cache->vh);
+    Matrix* scores = &cache->probs[h];
+    MatmulTransposeBInto(cache->qh, cache->kh, scores);
     // With masking on, padded columns get zero probability and padded rows
     // produce all-zero distributions; without it we reproduce the paper's
     // raw zero-padding (padding rows still score exp(0) mass).
-    SoftmaxRowsInPlace(&scores, use_mask_ ? &col_mask : nullptr,
-                       use_mask_ ? static_cast<long>(valid_n) : -1);
-    cache->probs[h] = scores;
-    Matrix oh = Matmul(scores, vh);
-    AddHeadSlice(&cache->concat, oh, h, hd);
+    ScaledMaskedSoftmaxRowsInPlace(scores, scale,
+                                   use_mask_ ? &cache->col_mask : nullptr,
+                                   use_mask_ ? static_cast<long>(valid_n)
+                                             : -1);
+    MatmulInto(*scores, cache->vh, &cache->oh);
+    SetHeadSlice(&cache->concat, cache->oh, h, hd);
   }
 
-  Matrix out = Matmul(cache->concat, wo_);
-  if (use_mask_) ZeroPadRows(&out, valid_n);
+  MatmulInto(cache->concat, wo_, out);
+  if (use_mask_) ZeroPadRows(out, valid_n);
+}
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& x, size_t valid_n,
+                                       Cache* cache) const {
+  Matrix out;
+  ForwardInto(x, valid_n, cache, &out);
   return out;
 }
 
@@ -102,7 +124,7 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& grad_out,
   if (use_mask_) ZeroPadRows(&dy, cache.valid_n);
 
   // out = concat · W_O.
-  grads->dwo += MatmulTransposeA(cache.concat, dy);
+  MatmulTransposeAAccumulate(cache.concat, dy, &grads->dwo);
   Matrix dconcat = MatmulTransposeB(dy, wo_);
 
   Matrix dq(cache.q.rows(), cache.q.cols());
@@ -132,9 +154,9 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& grad_out,
     AddHeadSlice(&dv, dvh, h, hd);
   }
 
-  grads->dwq += MatmulTransposeA(cache.x, dq);
-  grads->dwk += MatmulTransposeA(cache.x, dk);
-  grads->dwv += MatmulTransposeA(cache.x, dv);
+  MatmulTransposeAAccumulate(cache.x, dq, &grads->dwq);
+  MatmulTransposeAAccumulate(cache.x, dk, &grads->dwk);
+  MatmulTransposeAAccumulate(cache.x, dv, &grads->dwv);
 
   Matrix dx = MatmulTransposeB(dq, wq_);
   dx += MatmulTransposeB(dk, wk_);
@@ -170,6 +192,22 @@ Status MultiHeadSelfAttention::Load(std::istream* is) {
   uint64_t meta[2];
   is->read(reinterpret_cast<char*>(meta), sizeof(meta));
   if (!is->good()) return Status::IoError("attention read failed");
+  // A truncated or corrupted checkpoint must not install an inconsistent
+  // layer: zero heads divides by zero in head_dim(), a non-dividing head
+  // count slices out of bounds, and mismatched weight shapes break every
+  // matmul downstream. Reject here instead.
+  const size_t d = wq_.rows();
+  if (wq_.cols() != d || wk_.rows() != d || wk_.cols() != d ||
+      wv_.rows() != d || wv_.cols() != d || wo_.rows() != d ||
+      wo_.cols() != d) {
+    return Status::IoError("attention checkpoint has mismatched weights");
+  }
+  if (meta[0] == 0 || meta[0] > d || d % meta[0] != 0) {
+    return Status::IoError("attention checkpoint has invalid head count");
+  }
+  if (meta[1] > 1) {
+    return Status::IoError("attention checkpoint has invalid mask flag");
+  }
   num_heads_ = meta[0];
   use_mask_ = meta[1] != 0;
   return Status::OK();

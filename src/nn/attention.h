@@ -27,13 +27,19 @@ namespace crowdrl {
 class MultiHeadSelfAttention {
  public:
   /// Per-pass activation cache; owned by the caller so that concurrent
-  /// forward/backward passes can share one (const) layer.
+  /// forward/backward passes can share one (const) layer. Also owns the
+  /// forward pass's scratch buffers: a warm cache makes repeated
+  /// ForwardInto calls allocation-free (all members resize in place).
   struct Cache {
     Matrix x;                     // input, n×d
     Matrix q, k, v;               // projections, n×d
     std::vector<Matrix> probs;    // per-head softmax, n×n
     Matrix concat;                // concatenated head outputs, n×d
     size_t valid_n = 0;
+    // Scratch (not consumed by Backward): per-head slices and the padding
+    // mask, kept here so steady-state inference reuses their buffers.
+    Matrix qh, kh, vh, oh;        // n×head_dim
+    std::vector<uint8_t> col_mask;
   };
 
   /// Parameter gradients, accumulated by Backward.
@@ -55,6 +61,13 @@ class MultiHeadSelfAttention {
   /// Forward over an n×dim input. Rows at index >= valid_n are treated as
   /// padding. Fills `cache` for the corresponding Backward call.
   Matrix Forward(const Matrix& x, size_t valid_n, Cache* cache) const;
+
+  /// Destination-passing Forward: writes the n×dim output into `*out`
+  /// (resized in place) and uses only `cache`-owned scratch, so repeated
+  /// calls with a warm cache perform zero heap allocations. `out` must not
+  /// alias `x`.
+  void ForwardInto(const Matrix& x, size_t valid_n, Cache* cache,
+                   Matrix* out) const;
 
   /// Backward: upstream gradient `grad_out` (n×dim) → input gradient
   /// (n×dim); parameter grads are accumulated into `grads`.

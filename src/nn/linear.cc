@@ -5,12 +5,22 @@
 
 namespace crowdrl {
 
+void Linear::ForwardInto(const Matrix& x, Matrix* pre_activation,
+                         Matrix* out) const {
+  CROWDRL_CHECK(out != &x && out != pre_activation);
+  MatmulInto(x, w_, out);
+  out->AddRowBroadcast(b_);
+  if (pre_activation != nullptr) *pre_activation = *out;
+  if (act_ == Activation::kRelu) {
+    float* d = out->data();
+    for (size_t i = 0; i < out->size(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  }
+}
+
 Matrix Linear::Forward(const Matrix& x, Matrix* pre_activation) const {
-  Matrix z = Matmul(x, w_);
-  z.AddRowBroadcast(b_);
-  if (pre_activation != nullptr) *pre_activation = z;
-  if (act_ == Activation::kRelu) return z.Relu();
-  return z;
+  Matrix out;
+  ForwardInto(x, pre_activation, &out);
+  return out;
 }
 
 Matrix Linear::Backward(const Matrix& x, const Matrix& pre_activation,
@@ -22,7 +32,7 @@ Matrix Linear::Backward(const Matrix& x, const Matrix& pre_activation,
     dz = dz.CwiseProduct(pre_activation.ReluMask());
   }
   // dW += xᵀ · dz ; db += column-sum(dz) ; dx = dz · Wᵀ.
-  *dw += MatmulTransposeA(x, dz);
+  MatmulTransposeAAccumulate(x, dz, dw);
   for (size_t r = 0; r < dz.rows(); ++r) {
     const float* row = dz.row_data(r);
     float* acc = db->row_data(0);

@@ -39,6 +39,12 @@ class Linear {
   /// Backward for the ReLU mask).
   Matrix Forward(const Matrix& x, Matrix* pre_activation = nullptr) const;
 
+  /// Destination-passing Forward: writes into `*out` (resized in place;
+  /// allocation-free once warm). `out` must alias neither `x` nor
+  /// `pre_activation`.
+  void ForwardInto(const Matrix& x, Matrix* pre_activation,
+                   Matrix* out) const;
+
   /// Backward pass. `x` is the forward input, `pre_activation` the cached
   /// x·W+b, `grad_out` is d(loss)/d(y). Parameter gradients are
   /// *accumulated* into dw/db; returns d(loss)/d(x).

@@ -20,11 +20,12 @@ Matrix Mlp::Forward(const Matrix& x, Cache* cache) const {
   Cache local;
   Cache* c = cache != nullptr ? cache : &local;
   c->x = x;
-  c->pre.assign(layers_.size(), Matrix());
-  c->act.assign(layers_.size(), Matrix());
+  // resize (not assign) so a warm cache keeps its buffers.
+  if (c->pre.size() != layers_.size()) c->pre.resize(layers_.size());
+  if (c->act.size() != layers_.size()) c->act.resize(layers_.size());
   const Matrix* cur = &c->x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    c->act[i] = layers_[i].Forward(*cur, &c->pre[i]);
+    layers_[i].ForwardInto(*cur, &c->pre[i], &c->act[i]);
     cur = &c->act[i];
   }
   return c->act.back();
@@ -79,6 +80,8 @@ Status Mlp::Load(std::istream* is) {
   uint64_t n = 0;
   is->read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!is->good()) return Status::IoError("mlp header read failed");
+  // Guard against a corrupt header before allocating n layers.
+  if (n == 0 || n > 1024) return Status::IoError("mlp header is invalid");
   layers_.assign(n, Linear());
   for (auto& layer : layers_) CROWDRL_RETURN_NOT_OK(layer.Load(is));
   return Status::OK();

@@ -21,39 +21,53 @@ SetQNetwork::SetQNetwork(const SetQNetworkConfig& config, Rng* rng)
   CROWDRL_CHECK(config.hidden_dim % config.num_heads == 0);
 }
 
-Matrix SetQNetwork::Forward(const Matrix& x, size_t valid_n,
-                            Cache* cache) const {
+const Matrix& SetQNetwork::ForwardInto(const Matrix& x, size_t valid_n,
+                                       Cache* c) const {
   CROWDRL_CHECK(x.cols() == config_.input_dim);
   CROWDRL_CHECK(valid_n <= x.rows());
-  Cache local;
-  Cache* c = cache != nullptr ? cache : &local;
   c->x = x;
   c->valid_n = valid_n;
-  c->h1 = rff1_.Forward(x, &c->pre1);
-  c->h2 = rff2_.Forward(c->h1, &c->pre2);
+  rff1_.ForwardInto(x, &c->pre1, &c->h1);
+  rff2_.ForwardInto(c->h1, &c->pre2, &c->h2);
   if (config_.use_attention) {
-    Matrix a1 = attn1_.Forward(c->h2, valid_n, &c->attn1);
-    c->r1 = c->h2 + a1;
+    attn1_.ForwardInto(c->h2, valid_n, &c->attn1, &c->a1);
+    c->r1 = c->h2;
+    c->r1 += c->a1;
   } else {
     c->r1 = c->h2;  // per-task ablation: no cross-task interaction
   }
-  c->h3 = rff3_.Forward(c->r1, &c->pre3);
+  rff3_.ForwardInto(c->r1, &c->pre3, &c->h3);
   if (config_.use_attention) {
-    Matrix a2 = attn2_.Forward(c->h3, valid_n, &c->attn2);
-    c->r2 = c->h3 + a2;
+    attn2_.ForwardInto(c->h3, valid_n, &c->attn2, &c->a2);
+    c->r2 = c->h3;
+    c->r2 += c->a2;
   } else {
     c->r2 = c->h3;
   }
-  return out_.Forward(c->r2, &c->pre_out);
+  out_.ForwardInto(c->r2, &c->pre_out, &c->q_out);
+  return c->q_out;
+}
+
+Matrix SetQNetwork::Forward(const Matrix& x, size_t valid_n,
+                            Cache* cache) const {
+  Cache local;
+  Cache* c = cache != nullptr ? cache : &local;
+  return ForwardInto(x, valid_n, c);
 }
 
 std::vector<double> SetQNetwork::QValues(const Matrix& x,
                                          size_t valid_n) const {
   Cache cache;
-  Matrix q = Forward(x, valid_n, &cache);
-  std::vector<double> out(valid_n);
-  for (size_t i = 0; i < valid_n; ++i) out[i] = q(i, 0);
+  std::vector<double> out;
+  QValuesInto(x, valid_n, &cache, &out);
   return out;
+}
+
+void SetQNetwork::QValuesInto(const Matrix& x, size_t valid_n, Cache* cache,
+                              std::vector<double>* out) const {
+  const Matrix& q = ForwardInto(x, valid_n, cache);
+  out->resize(valid_n);
+  for (size_t i = 0; i < valid_n; ++i) (*out)[i] = q(i, 0);
 }
 
 void SetQNetwork::Backward(const Matrix& grad_q, const Cache& cache,
@@ -163,6 +177,13 @@ Status SetQNetwork::Load(std::istream* is) {
   uint64_t meta[5];
   is->read(reinterpret_cast<char*>(meta), sizeof(meta));
   if (!is->good()) return Status::IoError("qnetwork header read failed");
+  // Validate before installing: a corrupt header with zero dims or a head
+  // count that does not divide hidden_dim would CHECK-crash or slice out
+  // of bounds at first use instead of failing the load cleanly.
+  if (meta[0] == 0 || meta[1] == 0 || meta[2] == 0 || meta[1] % meta[2] != 0 ||
+      meta[3] > 1 || meta[4] > 1) {
+    return Status::IoError("qnetwork header is invalid");
+  }
   config_.input_dim = meta[0];
   config_.hidden_dim = meta[1];
   config_.num_heads = meta[2];

@@ -44,17 +44,20 @@ struct SetQNetworkConfig {
 /// concurrently — this is how training batches are parallelized on CPU.
 class SetQNetwork {
  public:
-  /// Per-pass activation cache (inputs + intermediates for backprop).
+  /// Per-pass activation cache (inputs + intermediates for backprop). A
+  /// warm cache makes ForwardInto allocation-free: every member resizes in
+  /// place, so steady-state inference touches no heap.
   struct Cache {
     Matrix x;
     Matrix pre1, h1;  // rFF1
     Matrix pre2, h2;  // rFF2
     MultiHeadSelfAttention::Cache attn1;
-    Matrix r1;
+    Matrix a1, r1;
     Matrix pre3, h3;  // rFF3
     MultiHeadSelfAttention::Cache attn2;
-    Matrix r2;
+    Matrix a2, r2;
     Matrix pre_out;
+    Matrix q_out;  // n×1 Q column, owned here so ForwardInto returns a view
     size_t valid_n = 0;
   };
 
@@ -83,8 +86,21 @@ class SetQNetwork {
   /// backprop needs it, so training passes must supply one.
   Matrix Forward(const Matrix& x, size_t valid_n, Cache* cache) const;
 
+  /// Destination-passing Forward: all activations and the returned Q column
+  /// live in `*cache` (resized in place). With a warm cache the call is
+  /// allocation-free — this is the serve hot path. The returned reference
+  /// is `cache->q_out` and stays valid until the next pass through the
+  /// cache.
+  const Matrix& ForwardInto(const Matrix& x, size_t valid_n,
+                            Cache* cache) const;
+
   /// Convenience: forward and extract Q values of the valid rows.
   std::vector<double> QValues(const Matrix& x, size_t valid_n) const;
+
+  /// Allocation-free QValues: forwards through `*cache` and writes the
+  /// valid-row Q values into `*out` (resized in place).
+  void QValuesInto(const Matrix& x, size_t valid_n, Cache* cache,
+                   std::vector<double>* out) const;
 
   /// Backprop `grad_q` (n×1, zeros on non-action rows) through the network,
   /// accumulating parameter gradients into `grads`.

@@ -1,0 +1,36 @@
+#ifndef CROWDRL_NN_WORKSPACE_H_
+#define CROWDRL_NN_WORKSPACE_H_
+
+#include <vector>
+
+#include "nn/set_qnetwork.h"
+
+namespace crowdrl {
+
+/// \brief Thread-local scratch for the inference hot path.
+///
+/// One warm SetQNetwork::Cache plus the per-network score vectors: after
+/// the first pass on a thread, every buffer has reached its steady-state
+/// capacity and subsequent scoring through it performs zero heap
+/// allocations (see tests/nn/allocation_free_test.cc). Batcher threads and
+/// the learner's inference chunks all route through `ThreadLocal()`, so a
+/// thread pays the warm-up exactly once regardless of how many decisions it
+/// scores.
+///
+/// The cache is reused across *different* networks (worker vs. requester
+/// MDP): that is safe because every member is resized in place on each
+/// pass and nothing is read before being written.
+struct InferenceWorkspace {
+  SetQNetwork::Cache cache;
+  std::vector<double> qw;  // worker-MDP Q values
+  std::vector<double> qr;  // requester-MDP Q values
+
+  static InferenceWorkspace& ThreadLocal() {
+    thread_local InferenceWorkspace ws;
+    return ws;
+  }
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NN_WORKSPACE_H_

@@ -122,8 +122,12 @@ void ServiceShard::LearnerLoop() {
 
 void ServiceShard::BatcherLoop() {
   std::vector<RankRequest> batch;
-  std::vector<DecisionContext> contexts;
-  std::vector<std::vector<double>> scores;
+  // Persistent per-slot buffers: each batch slot keeps its warm
+  // DecisionContext and score vector across batches, so once every slot
+  // has seen its steady-state shape the scoring pass allocates nothing
+  // (the ticket receives a copy; the slot keeps its buffers).
+  std::vector<DecisionContext> contexts(config_.max_batch);
+  std::vector<std::vector<double>> scores(config_.max_batch);
   std::vector<double> latencies;
   for (;;) {
     batch.clear();
@@ -136,11 +140,9 @@ void ServiceShard::BatcherLoop() {
     const std::shared_ptr<const PolicySnapshot> snapshot = channel_.Load();
     const ScoringView view = snapshot->View();
     const size_t n = batch.size();
-    contexts.assign(n, DecisionContext{});
-    scores.assign(n, {});
     const auto score_one = [&](size_t i) {
-      contexts[i] = framework_->BuildDecision(*batch[i].obs);
-      scores[i] = framework_->ScoreDecision(contexts[i], view);
+      framework_->BuildDecisionInto(*batch[i].obs, &contexts[i]);
+      framework_->ScoreDecisionInto(contexts[i], view, &scores[i]);
     };
     if (n == 1) {
       score_one(0);
@@ -156,7 +158,7 @@ void ServiceShard::BatcherLoop() {
       RankRequest& req = batch[i];
       *req.ranking = framework_->RankDecision(*req.obs, contexts[i],
                                               scores[i]);
-      req.ticket->ctx = std::move(contexts[i]);
+      req.ticket->ctx = contexts[i];
       req.ticket->snapshot_version = snapshot->version;
       latencies.push_back(req.wait.ElapsedSeconds());
       req.done.set_value();  // req.* pointers are dead past this line

@@ -65,6 +65,16 @@ class Matrix {
   float* row_data(size_t r) { return data_.data() + r * cols_; }
   const float* row_data(size_t r) const { return data_.data() + r * cols_; }
 
+  /// Reshapes to rows×cols without preserving contents: entries are
+  /// unspecified afterwards (callers must overwrite every cell). Reuses the
+  /// existing heap buffer whenever capacity allows, which is what makes the
+  /// `*Into` kernel forms allocation-free in steady state.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Sets every entry to `value`.
   void Fill(float value);
   /// Sets every entry to zero (keeps shape).

@@ -3,94 +3,313 @@
 #include <algorithm>
 #include <cmath>
 
+#ifdef CROWDRL_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
 namespace crowdrl {
 
-Matrix Matmul(const Matrix& a, const Matrix& b) {
+bool KernelUsesAvx2() {
+#ifdef CROWDRL_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// crow += av·brow over n entries (one axpy stream).
+inline void Axpy1(float* crow, const float* brow, float av, size_t n) {
+#ifdef CROWDRL_HAVE_AVX2
+  const __m256 va = _mm256_set1_ps(av);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(
+        crow + j,
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + j),
+                        _mm256_loadu_ps(crow + j)));
+  }
+  for (; j < n; ++j) crow[j] += av * brow[j];
+#else
+  for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+#endif
+}
+
+/// Four independent axpy streams sharing one read of brow: the register
+/// block of the matmul kernels. Four accumulator streams amortize the B
+/// load 4× and give the compiler (or the explicit FMA path) independent
+/// dependency chains.
+inline void Axpy4(float* c0, float* c1, float* c2, float* c3,
+                  const float* brow, float a0, float a1, float a2, float a3,
+                  size_t n) {
+#ifdef CROWDRL_HAVE_AVX2
+  const __m256 v0 = _mm256_set1_ps(a0);
+  const __m256 v1 = _mm256_set1_ps(a1);
+  const __m256 v2 = _mm256_set1_ps(a2);
+  const __m256 v3 = _mm256_set1_ps(a3);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vb = _mm256_loadu_ps(brow + j);
+    _mm256_storeu_ps(c0 + j, _mm256_fmadd_ps(v0, vb, _mm256_loadu_ps(c0 + j)));
+    _mm256_storeu_ps(c1 + j, _mm256_fmadd_ps(v1, vb, _mm256_loadu_ps(c1 + j)));
+    _mm256_storeu_ps(c2 + j, _mm256_fmadd_ps(v2, vb, _mm256_loadu_ps(c2 + j)));
+    _mm256_storeu_ps(c3 + j, _mm256_fmadd_ps(v3, vb, _mm256_loadu_ps(c3 + j)));
+  }
+  for (; j < n; ++j) {
+    const float bv = brow[j];
+    c0[j] += a0 * bv;
+    c1[j] += a1 * bv;
+    c2[j] += a2 * bv;
+    c3[j] += a3 * bv;
+  }
+#else
+  for (size_t j = 0; j < n; ++j) {
+    const float bv = brow[j];
+    c0[j] += a0 * bv;
+    c1[j] += a1 * bv;
+    c2[j] += a2 * bv;
+    c3[j] += a3 * bv;
+  }
+#endif
+}
+
+/// Dot with a reassociated reduction: independent partial sums (8-wide FMA
+/// under AVX2, four scalar lanes otherwise) so the k loop vectorizes.
+/// Bounded-epsilon tier — a float reduction cannot vectorize in-order.
+inline float DotBlocked(const float* a, const float* b, size_t n) {
+#ifdef CROWDRL_HAVE_AVX2
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                          acc);
+  }
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  float out = _mm_cvtss_f32(s);
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+#else
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float out = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+#endif
+}
+
+inline void ZeroRow(float* row, size_t n) { std::fill(row, row + n, 0.0f); }
+
+}  // namespace
+
+void MatmulInto(const Matrix& a, const Matrix& b, Matrix* c) {
   CROWDRL_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");
+  CROWDRL_CHECK(c != &a && c != &b);
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n);
-  // i-k-j ordering: the inner loop runs over contiguous rows of B and C,
-  // which auto-vectorizes and keeps both streams in cache.
-  for (size_t i = 0; i < m; ++i) {
-    float* crow = c.row_data(i);
-    const float* arow = a.row_data(i);
+  c->Resize(m, n);
+  // i-k-j ordering with a 4-row register block: the inner loop runs over
+  // contiguous rows of B and C (independent FMA streams), and each B row
+  // is read once per four C rows. Per-element accumulation stays in k
+  // order, so this is bit-identical to the plain scalar loop.
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float* c0 = c->row_data(i);
+    float* c1 = c->row_data(i + 1);
+    float* c2 = c->row_data(i + 2);
+    float* c3 = c->row_data(i + 3);
+    ZeroRow(c0, n);
+    ZeroRow(c1, n);
+    ZeroRow(c2, n);
+    ZeroRow(c3, n);
+    const float* a0 = a.row_data(i);
+    const float* a1 = a.row_data(i + 1);
+    const float* a2 = a.row_data(i + 2);
+    const float* a3 = a.row_data(i + 3);
     for (size_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;  // zero-padded state rows are common
-      const float* brow = b.row_data(kk);
-      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      Axpy4(c0, c1, c2, c3, b.row_data(kk), a0[kk], a1[kk], a2[kk], a3[kk],
+            n);
     }
   }
+  for (; i < m; ++i) {
+    float* crow = c->row_data(i);
+    ZeroRow(crow, n);
+    const float* arow = a.row_data(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      Axpy1(crow, b.row_data(kk), arow[kk], n);
+    }
+  }
+}
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatmulInto(a, b, &c);
   return c;
+}
+
+void MatmulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  CROWDRL_CHECK_MSG(a.cols() == b.cols(), "matmulTB shape mismatch");
+  CROWDRL_CHECK(c != &a && c != &b);
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c->Resize(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row_data(i);
+    float* crow = c->row_data(i);
+    for (size_t j = 0; j < n; ++j) {
+      crow[j] = DotBlocked(arow, b.row_data(j), k);
+    }
+  }
 }
 
 Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
-  CROWDRL_CHECK_MSG(a.cols() == b.cols(), "matmulTB shape mismatch");
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix c(m, n);
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row_data(i);
-    float* crow = c.row_data(i);
-    for (size_t j = 0; j < n; ++j) {
-      crow[j] = Dot(arow, b.row_data(j), k);
-    }
-  }
+  Matrix c;
+  MatmulTransposeBInto(a, b, &c);
   return c;
 }
 
-Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
-  CROWDRL_CHECK_MSG(a.rows() == b.rows(), "matmulTA shape mismatch");
+namespace {
+
+/// Shared k-i-j accumulation core of the Aᵀ·B kernels; assumes *c is
+/// already shaped m×n and holds the values to accumulate onto.
+void MatmulTransposeACore(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix c(m, n);
   for (size_t kk = 0; kk < k; ++kk) {
     const float* arow = a.row_data(kk);
     const float* brow = b.row_data(kk);
-    for (size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.row_data(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      Axpy4(c->row_data(i), c->row_data(i + 1), c->row_data(i + 2),
+            c->row_data(i + 3), brow, arow[i], arow[i + 1], arow[i + 2],
+            arow[i + 3], n);
+    }
+    for (; i < m; ++i) {
+      Axpy1(c->row_data(i), brow, arow[i], n);
     }
   }
+}
+
+}  // namespace
+
+void MatmulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  CROWDRL_CHECK_MSG(a.rows() == b.rows(), "matmulTA shape mismatch");
+  CROWDRL_CHECK(c != &a && c != &b);
+  c->Resize(a.cols(), b.cols());
+  c->SetZero();
+  MatmulTransposeACore(a, b, c);
+}
+
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatmulTransposeAInto(a, b, &c);
   return c;
 }
 
-void SoftmaxRowsInPlace(Matrix* m, const std::vector<uint8_t>* col_mask,
-                        long valid_rows) {
+void MatmulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  CROWDRL_CHECK_MSG(a.rows() == b.rows(), "matmulTA shape mismatch");
+  CROWDRL_CHECK(c->rows() == a.cols() && c->cols() == b.cols());
+  CROWDRL_CHECK(c != &a && c != &b);
+  MatmulTransposeACore(a, b, c);
+}
+
+namespace {
+
+/// The general-mask softmax path: per-element mask branches, used only
+/// when the mask is not prefix-shaped (never the case in attention).
+void GeneralMaskedSoftmaxRow(float* row, size_t cols, float scale,
+                             const std::vector<uint8_t>& col_mask) {
+  float max_v = -std::numeric_limits<float>::infinity();
+  for (size_t c = 0; c < cols; ++c) {
+    row[c] *= scale;
+    if (col_mask[c]) max_v = std::max(max_v, row[c]);
+  }
+  if (!std::isfinite(max_v)) {
+    ZeroRow(row, cols);
+    return;
+  }
+  float sum = 0.0f;
+  for (size_t c = 0; c < cols; ++c) {
+    if (!col_mask[c]) {
+      row[c] = 0.0f;
+    } else {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+  }
+  const float inv = 1.0f / sum;
+  for (size_t c = 0; c < cols; ++c) row[c] *= inv;
+}
+
+}  // namespace
+
+void ScaledMaskedSoftmaxRowsInPlace(Matrix* m, float scale,
+                                    const std::vector<uint8_t>* col_mask,
+                                    long valid_rows) {
   const size_t rows = m->rows(), cols = m->cols();
   if (col_mask != nullptr) {
     CROWDRL_CHECK(col_mask->size() == cols);
   }
   const size_t active_rows =
       valid_rows < 0 ? rows : std::min<size_t>(rows, valid_rows);
+
+  // Padding masks are prefix-shaped (1…1 0…0): detect that once and take
+  // branch-free inner loops over the valid prefix. Arbitrary masks fall
+  // back to the per-element-branch path.
+  size_t valid_cols = cols;
+  bool prefix = true;
+  if (col_mask != nullptr) {
+    valid_cols = 0;
+    while (valid_cols < cols && (*col_mask)[valid_cols]) ++valid_cols;
+    for (size_t c = valid_cols; c < cols; ++c) {
+      if ((*col_mask)[c]) {
+        prefix = false;
+        break;
+      }
+    }
+  }
+
   for (size_t r = 0; r < active_rows; ++r) {
     float* row = m->row_data(r);
+    if (!prefix) {
+      GeneralMaskedSoftmaxRow(row, cols, scale, *col_mask);
+      continue;
+    }
     float max_v = -std::numeric_limits<float>::infinity();
-    for (size_t c = 0; c < cols; ++c) {
-      if (col_mask && !(*col_mask)[c]) continue;
+    for (size_t c = 0; c < valid_cols; ++c) {
+      row[c] *= scale;
       max_v = std::max(max_v, row[c]);
     }
     if (!std::isfinite(max_v)) {
-      // Every column masked out: emit a zero row rather than NaNs.
-      std::fill(row, row + cols, 0.0f);
+      // Every column masked out (or an infinite score): emit a zero row
+      // rather than NaNs.
+      ZeroRow(row, cols);
       continue;
     }
     float sum = 0.0f;
-    for (size_t c = 0; c < cols; ++c) {
-      if (col_mask && !(*col_mask)[c]) {
-        row[c] = 0.0f;
-      } else {
-        row[c] = std::exp(row[c] - max_v);
-        sum += row[c];
-      }
+    for (size_t c = 0; c < valid_cols; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
     }
     const float inv = 1.0f / sum;
-    for (size_t c = 0; c < cols; ++c) row[c] *= inv;
+    for (size_t c = 0; c < valid_cols; ++c) row[c] *= inv;
+    ZeroRow(row + valid_cols, cols - valid_cols);
   }
   for (size_t r = active_rows; r < rows; ++r) {
-    float* row = m->row_data(r);
-    std::fill(row, row + cols, 0.0f);
+    ZeroRow(m->row_data(r), cols);
   }
+}
+
+void SoftmaxRowsInPlace(Matrix* m, const std::vector<uint8_t>* col_mask,
+                        long valid_rows) {
+  ScaledMaskedSoftmaxRowsInPlace(m, 1.0f, col_mask, valid_rows);
 }
 
 Matrix SoftmaxRowsBackward(const Matrix& probs, const Matrix& grad_probs) {
@@ -139,5 +358,97 @@ double CosineSimilarity(const std::vector<float>& a,
   if (na <= 0 || nb <= 0) return 0;
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }
+
+namespace reference {
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  CROWDRL_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c.row_data(i);
+    const float* arow = a.row_data(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      const float* brow = b.row_data(kk);
+      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
+  CROWDRL_CHECK_MSG(a.cols() == b.cols(), "matmulTB shape mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row_data(i);
+    float* crow = c.row_data(i);
+    for (size_t j = 0; j < n; ++j) {
+      crow[j] = Dot(arow, b.row_data(j), k);
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
+  CROWDRL_CHECK_MSG(a.rows() == b.rows(), "matmulTA shape mismatch");
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.row_data(kk);
+    const float* brow = b.row_data(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      float* crow = c.row_data(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+void ScaledMaskedSoftmaxRows(Matrix* m, float scale,
+                             const std::vector<uint8_t>* col_mask,
+                             long valid_rows) {
+  const size_t rows = m->rows(), cols = m->cols();
+  if (col_mask != nullptr) {
+    CROWDRL_CHECK(col_mask->size() == cols);
+  }
+  const size_t active_rows =
+      valid_rows < 0 ? rows : std::min<size_t>(rows, valid_rows);
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m->row_data(r);
+    for (size_t c = 0; c < cols; ++c) row[c] *= scale;
+  }
+  for (size_t r = 0; r < active_rows; ++r) {
+    float* row = m->row_data(r);
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (size_t c = 0; c < cols; ++c) {
+      if (col_mask && !(*col_mask)[c]) continue;
+      max_v = std::max(max_v, row[c]);
+    }
+    if (!std::isfinite(max_v)) {
+      std::fill(row, row + cols, 0.0f);
+      continue;
+    }
+    float sum = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      if (col_mask && !(*col_mask)[c]) {
+        row[c] = 0.0f;
+      } else {
+        row[c] = std::exp(row[c] - max_v);
+        sum += row[c];
+      }
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+  for (size_t r = active_rows; r < rows; ++r) {
+    float* row = m->row_data(r);
+    std::fill(row, row + cols, 0.0f);
+  }
+}
+
+}  // namespace reference
 
 }  // namespace crowdrl

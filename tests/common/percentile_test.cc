@@ -105,6 +105,66 @@ TEST(PercentileAccumulatorTest, MergeRespectsSampleCap) {
   EXPECT_NEAR(a.Percentile(50), 50.0, 15.0);
 }
 
+TEST(PercentileAccumulatorTest, MergeReconcilesStrides) {
+  // A capped (stride > 1) accumulator merged with an uncapped one: the
+  // dense donor must be thinned to the adopted stride, so its stream does
+  // not swamp the receiver's retained sample.
+  PercentileAccumulator capped(/*max_samples=*/32), dense, merged_ref;
+  for (int i = 0; i < 4000; ++i) {
+    capped.Add(i % 101);       // uniform over 0..100, decimated
+    merged_ref.Add(i % 101);
+  }
+  for (int i = 0; i < 200; ++i) {
+    dense.Add(i % 101);        // same distribution, stride 1
+    merged_ref.Add(i % 101);
+  }
+  ASSERT_GT(capped.stride(), 1u);
+  ASSERT_EQ(dense.stride(), 1u);
+  const size_t pre_stride = capped.stride();
+  capped.Merge(dense);
+  EXPECT_EQ(capped.count(), 4200);
+  EXPECT_GE(capped.stride(), pre_stride);
+  // Thinned donor: the merged retained set stays bounded and both streams
+  // carry one retained sample per stride observations.
+  EXPECT_LT(capped.retained_samples(), 64u);
+  EXPECT_NEAR(capped.Percentile(50), merged_ref.Percentile(50), 15.0);
+  EXPECT_NEAR(capped.Percentile(95), merged_ref.Percentile(95), 15.0);
+}
+
+TEST(PercentileAccumulatorTest, MergeThenAddMatchesCombinedStream) {
+  // The Merge-phase bug this guards against: post-merge Adds used to
+  // decimate at a phase shifted by the donor's count (n_ % stride_), so a
+  // merged accumulator silently retained a different subsample than an
+  // accumulator that saw the same combined stream. With the skip-counter
+  // phase the post-merge retention rate must match the stride exactly.
+  PercentileAccumulator merged(/*max_samples=*/1024),
+      donor(/*max_samples=*/1024);
+  for (int i = 0; i < 2000; ++i) merged.Add(i % 61);
+  for (int i = 0; i < 2000; ++i) donor.Add(i % 61);
+  merged.Merge(donor);
+  const size_t stride = merged.stride();
+  const size_t retained_before = merged.retained_samples();
+  ASSERT_GT(stride, 1u);
+  // Headroom so the cap is not hit mid-check (a compaction would halve the
+  // retained count and obscure the phase assertion).
+  ASSERT_LT(retained_before + 10, 1024u);
+  // Feed exactly 10 strides' worth of post-merge observations: exactly 10
+  // must be retained (phase restarts cleanly, no donor-count shift).
+  const size_t extra = 10 * stride;
+  for (size_t i = 0; i < extra; ++i) merged.Add(50.0);
+  EXPECT_EQ(merged.retained_samples(), retained_before + 10);
+  EXPECT_EQ(merged.count(), static_cast<int64_t>(4000 + extra));
+
+  // And the resulting percentiles stay near a single accumulator fed the
+  // combined stream.
+  PercentileAccumulator whole(/*max_samples=*/1024);
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < 2000; ++i) whole.Add(i % 61);
+  }
+  for (size_t i = 0; i < extra; ++i) whole.Add(50.0);
+  EXPECT_NEAR(merged.Percentile(50), whole.Percentile(50), 10.0);
+}
+
 TEST(PercentileAccumulatorTest, DecimationIsDeterministic) {
   PercentileAccumulator a(/*max_samples=*/32), b(/*max_samples=*/32);
   for (int i = 0; i < 5000; ++i) {

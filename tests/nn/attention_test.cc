@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <sstream>
+
 #include "nn/grad_check.h"
 
 namespace crowdrl {
@@ -147,6 +150,70 @@ TEST(AttentionTest, SaveLoadRoundTrip) {
   EXPECT_TRUE(restored.use_mask());
   EXPECT_TRUE(Matrix::AllClose(layer.wq(), restored.wq(), 0.0f));
   EXPECT_TRUE(Matrix::AllClose(layer.wo(), restored.wo(), 0.0f));
+}
+
+// ---- corrupt-checkpoint round trips: Load must reject, not install ----
+// The trailing 16 bytes of the serialized stream are the uint64 meta pair
+// {num_heads, use_mask}; these tests overwrite them in place.
+
+std::string SerializedLayer(uint64_t heads_override, uint64_t mask_override) {
+  auto layer = MakeLayer(8, 4, true, 21);
+  std::stringstream ss;
+  CROWDRL_CHECK(layer.Save(&ss).ok());
+  std::string bytes = ss.str();
+  CROWDRL_CHECK(bytes.size() > 16);
+  std::memcpy(&bytes[bytes.size() - 16], &heads_override, 8);
+  std::memcpy(&bytes[bytes.size() - 8], &mask_override, 8);
+  return bytes;
+}
+
+TEST(AttentionTest, LoadRejectsZeroHeadCount) {
+  // num_heads == 0 would divide by zero in head_dim() on first Forward.
+  std::stringstream corrupt(SerializedLayer(0, 1));
+  MultiHeadSelfAttention restored;
+  const Status st = restored.Load(&corrupt);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(AttentionTest, LoadRejectsNonDividingHeadCount) {
+  // 3 heads over dim 8 would slice heads out of bounds.
+  std::stringstream corrupt(SerializedLayer(3, 1));
+  MultiHeadSelfAttention restored;
+  const Status st = restored.Load(&corrupt);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(AttentionTest, LoadRejectsOversizedHeadCount) {
+  std::stringstream corrupt(SerializedLayer(1ULL << 40, 1));
+  MultiHeadSelfAttention restored;
+  EXPECT_EQ(restored.Load(&corrupt).code(), StatusCode::kIoError);
+}
+
+TEST(AttentionTest, LoadRejectsInvalidMaskFlag) {
+  std::stringstream corrupt(SerializedLayer(4, 7));
+  MultiHeadSelfAttention restored;
+  EXPECT_EQ(restored.Load(&corrupt).code(), StatusCode::kIoError);
+}
+
+TEST(AttentionTest, LoadRejectsTruncatedStream) {
+  auto layer = MakeLayer(8, 2, true, 22);
+  std::stringstream ss;
+  ASSERT_TRUE(layer.Save(&ss).ok());
+  std::string bytes = ss.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 20));
+  MultiHeadSelfAttention restored;
+  EXPECT_FALSE(restored.Load(&truncated).ok());
+}
+
+TEST(AttentionTest, ValidStreamStillLoadsAfterValidation) {
+  // Guard against the validation rejecting well-formed checkpoints.
+  std::stringstream ok_stream(SerializedLayer(2, 0));
+  MultiHeadSelfAttention restored;
+  ASSERT_TRUE(restored.Load(&ok_stream).ok());
+  EXPECT_EQ(restored.num_heads(), 2u);
+  EXPECT_FALSE(restored.use_mask());
 }
 
 }  // namespace

@@ -146,8 +146,9 @@ TEST(OpsTest, CosineSimilarityBasics) {
   EXPECT_EQ(CosineSimilarity({0, 0}, {1, 2}), 0.0);
 }
 
-TEST(OpsTest, MatmulSkipsZeroRowsCorrectly) {
-  // The zero-skip fast path must not change results.
+TEST(OpsTest, MatmulZeroRowsProduceZeroOutput) {
+  // Zero rows of A must yield exactly-zero output rows (no zero-skip fast
+  // path exists anymore; 0×finite contributes ±0 exactly).
   Matrix a = Matrix::FromRows({{0, 0, 0}, {1, 0, 2}});
   Matrix b = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
   Matrix c = Matmul(a, b);
