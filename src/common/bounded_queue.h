@@ -2,11 +2,11 @@
 #define CROWDRL_COMMON_BOUNDED_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace crowdrl {
 
@@ -22,6 +22,10 @@ namespace crowdrl {
 /// adds the admission-control variant: a producer with a latency budget
 /// waits only that long for space and learns *why* it failed (closed vs
 /// timed out), which is what lets a service shed instead of block.
+///
+/// Thread-safety is machine-checked: `items_`/`closed_` are
+/// CROWDRL_GUARDED_BY(mu_) and every wait is an explicit condition loop in
+/// the analyzed, lock-holding scope (see common/mutex.h).
 template <typename T>
 class BoundedQueue {
  public:
@@ -42,12 +46,14 @@ class BoundedQueue {
   /// closed (the item is dropped).
   bool Push(T item) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+      MutexLock lk(mu_);
+      while (items_.size() >= capacity_ && !closed_) {
+        not_full_.Wait(mu_, lk);
+      }
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -57,30 +63,33 @@ class BoundedQueue {
   /// mid-budget — the admission-control path must never outlive shutdown.
   PushResult TryPushFor(T item, int64_t budget_us) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      const auto budget =
+      MutexLock lk(mu_);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
           std::chrono::microseconds(budget_us < 0 ? 0 : budget_us);
-      const bool ready = not_full_.wait_for(lk, budget, [&] {
-        return items_.size() < capacity_ || closed_;
-      });
+      while (items_.size() >= capacity_ && !closed_) {
+        if (!not_full_.WaitUntil(mu_, lk, deadline)) break;  // budget spent
+      }
       if (closed_) return PushResult::kClosed;
-      if (!ready) return PushResult::kTimeout;
+      if (items_.size() >= capacity_) return PushResult::kTimeout;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return PushResult::kOk;
   }
 
   /// Blocks while the queue is empty. Returns nullopt iff the queue was
   /// closed and fully drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lk(mu_);
-    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    MutexLock lk(mu_);
+    while (items_.empty() && !closed_) {
+      not_empty_.Wait(mu_, lk);
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lk.unlock();
-    not_full_.notify_one();
+    lk.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
@@ -91,8 +100,10 @@ class BoundedQueue {
   /// of items appended (0 iff closed and drained).
   size_t PopBatch(std::vector<T>* out, size_t max_items, int64_t coalesce_us) {
     const size_t before = out->size();
-    std::unique_lock<std::mutex> lk(mu_);
-    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    MutexLock lk(mu_);
+    while (items_.empty() && !closed_) {
+      not_empty_.Wait(mu_, lk);
+    }
     if (items_.empty()) return 0;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::microseconds(coalesce_us);
@@ -104,15 +115,18 @@ class BoundedQueue {
       if (out->size() - before >= max_items || closed_ || coalesce_us <= 0) {
         break;
       }
-      if (!not_empty_.wait_until(lk, deadline, [&] {
-            return !items_.empty() || closed_;
-          })) {
-        break;  // coalescing window elapsed
+      bool window_elapsed = false;
+      while (items_.empty() && !closed_) {
+        if (!not_empty_.WaitUntil(mu_, lk, deadline)) {
+          window_elapsed = true;  // coalescing window elapsed
+          break;
+        }
       }
-      if (items_.empty()) break;  // woken by Close
+      if (window_elapsed) break;
+      if (items_.empty()) break;  // woken by Close with nothing left
     }
-    lk.unlock();
-    not_full_.notify_all();
+    lk.Unlock();
+    not_full_.NotifyAll();
     return out->size() - before;
   }
 
@@ -120,20 +134,20 @@ class BoundedQueue {
   /// then empty). Idempotent.
   void Close() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return items_.size();
   }
 
@@ -141,11 +155,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ CROWDRL_GUARDED_BY(mu_);
+  bool closed_ CROWDRL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace crowdrl

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace crowdrl {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+/// Serializes the final fprintf so concurrent log lines never interleave.
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +37,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
   (void)level_;
 }

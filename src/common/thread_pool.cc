@@ -37,10 +37,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -55,16 +55,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Independent threads submitting concurrently queue up here; the pool
   // runs one job at a time.
-  done_cv_.wait(lock, [this] { return job_ == nullptr; });
+  while (job_ != nullptr) done_cv_.Wait(mu_, lock);
   job_ = &fn;
   job_size_ = n;
   next_index_ = 0;
   in_flight_ = 0;
   ++generation_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The calling thread participates too.
   {
     ScopedActivePool scope(this);
@@ -73,40 +73,41 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       if (i >= job_size_) break;
       next_index_ = i + 1;
       ++in_flight_;
-      lock.unlock();
+      lock.Unlock();
       fn(i);
-      lock.lock();
+      lock.Lock();
       --in_flight_;
     }
   }
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  while (in_flight_ != 0) done_cv_.Wait(mu_, lock);
   job_ = nullptr;
   // Wake any caller queued behind this job (and the final-iteration waiter
   // path in WorkerLoop only notifies while a job is installed, so this is
   // the hand-off point for queued submitters).
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop() {
   ScopedActivePool scope(this);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t seen_generation = 0;
   while (true) {
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || (job_ != nullptr && generation_ != seen_generation &&
-                           next_index_ < job_size_);
-    });
+    while (!shutdown_ &&
+           !(job_ != nullptr && generation_ != seen_generation &&
+             next_index_ < job_size_)) {
+      work_cv_.Wait(mu_, lock);
+    }
     if (shutdown_) return;
     seen_generation = generation_;
     while (job_ != nullptr && next_index_ < job_size_) {
       size_t i = next_index_++;
       ++in_flight_;
       const auto* fn = job_;
-      lock.unlock();
+      lock.Unlock();
       (*fn)(i);
-      lock.lock();
+      lock.Lock();
       --in_flight_;
-      if (in_flight_ == 0 && next_index_ >= job_size_) done_cv_.notify_all();
+      if (in_flight_ == 0 && next_index_ >= job_size_) done_cv_.NotifyAll();
     }
   }
 }

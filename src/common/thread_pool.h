@@ -1,13 +1,13 @@
 #ifndef CROWDRL_COMMON_THREAD_POOL_H_
 #define CROWDRL_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace crowdrl {
 
@@ -45,16 +45,18 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Immutable after construction (workers are joined in the destructor
+  /// only, after `shutdown_` is observed under `mu_`).
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* job_ = nullptr;
-  size_t job_size_ = 0;
-  size_t next_index_ = 0;
-  size_t in_flight_ = 0;
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(size_t)>* job_ CROWDRL_GUARDED_BY(mu_) = nullptr;
+  size_t job_size_ CROWDRL_GUARDED_BY(mu_) = 0;
+  size_t next_index_ CROWDRL_GUARDED_BY(mu_) = 0;
+  size_t in_flight_ CROWDRL_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ CROWDRL_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CROWDRL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace crowdrl

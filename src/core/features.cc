@@ -9,7 +9,7 @@ namespace crowdrl {
 
 FeatureBuilder::FeatureBuilder(const FeatureConfig& config, size_t num_workers,
                                size_t num_tasks)
-    : config_(config) {
+    : config_(config), num_tasks_(num_tasks) {
   CROWDRL_CHECK(config.num_categories > 0 && config.num_domains > 0 &&
                 config.award_buckets > 0);
   task_cache_.resize(num_tasks);
@@ -35,26 +35,43 @@ int FeatureBuilder::AwardBucket(double award) const {
 }
 
 const std::vector<float>& FeatureBuilder::TaskFeature(const Task& task) const {
-  CROWDRL_CHECK(task.id >= 0 &&
-                task.id < static_cast<TaskId>(task_cache_.size()));
-  // Double-checked fill: the acquire load pairs with the release store so
-  // concurrent readers either see the fully built feature or take the lock.
+  CROWDRL_CHECK(task.id >= 0 && task.id < static_cast<TaskId>(num_tasks_));
+  // Double-checked fill: the acquire load pairs with the release store in
+  // FillTaskFeature, so concurrent readers either observe the fully built
+  // feature or take the lock and fill (or find) it themselves.
   if (!task_cached_[task.id].load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lk(task_cache_mu_);
-    if (!task_cached_[task.id].load(std::memory_order_relaxed)) {
-      std::vector<float> f(task_dim(), 0.0f);
-      CROWDRL_CHECK(task.category >= 0 &&
-                    task.category < config_.num_categories);
-      CROWDRL_CHECK(task.domain >= 0 && task.domain < config_.num_domains);
-      f[task.category] = 1.0f;
-      f[config_.num_categories + task.domain] = 1.0f;
-      f[config_.num_categories + config_.num_domains +
-        AwardBucket(task.award)] = 1.0f;
-      task_cache_[task.id] = std::move(f);
-      task_cached_[task.id].store(1, std::memory_order_release);
-    }
+    FillTaskFeature(task);
   }
-  return task_cache_[task.id];
+  return PublishedTaskFeature(task.id);
+}
+
+void FeatureBuilder::FillTaskFeature(const Task& task) const {
+  MutexLock lk(task_cache_mu_);
+  // Relaxed re-check is enough under the mutex: a previous filler's store
+  // happened-before its unlock, which happened-before our lock.
+  if (task_cached_[task.id].load(std::memory_order_relaxed)) return;
+  std::vector<float> f(task_dim(), 0.0f);
+  CROWDRL_CHECK(task.category >= 0 &&
+                task.category < config_.num_categories);
+  CROWDRL_CHECK(task.domain >= 0 && task.domain < config_.num_domains);
+  f[task.category] = 1.0f;
+  f[config_.num_categories + task.domain] = 1.0f;
+  f[config_.num_categories + config_.num_domains +
+    AwardBucket(task.award)] = 1.0f;
+  task_cache_[task.id] = std::move(f);
+  task_cached_[task.id].store(1, std::memory_order_release);
+}
+
+const std::vector<float>& FeatureBuilder::PublishedTaskFeature(
+    TaskId id) const {
+  // Deliberately outside the thread-safety analysis: `task_cache_` is
+  // guarded by `task_cache_mu_`, but a published entry is immutable for
+  // the rest of the builder's lifetime, the vector itself is never resized
+  // after construction, and every caller reached this accessor via an
+  // acquire load of `task_cached_[id]` (directly, or transitively through
+  // the release/acquire pair via FillTaskFeature's mutex) — so this read
+  // races with nothing.
+  return task_cache_[id];
 }
 
 double FeatureBuilder::DecayFactor(const WorkerHistory& h,

@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/sim_clock.h"
 #include "sim/task.h"
 
@@ -96,12 +96,26 @@ class FeatureBuilder {
   /// Writes the decay into the history (RecordCompletion only).
   void DecayTo(WorkerHistory* h, SimTime now);
 
+  /// First fill of `task.id`'s cache entry, serialized under
+  /// `task_cache_mu_`; no-op if another thread filled it meanwhile.
+  void FillTaskFeature(const Task& task) const
+      CROWDRL_EXCLUDES(task_cache_mu_);
+  /// Lock-free read of an entry whose publication flag was observed with
+  /// an acquire load (the analyzable escape hatch of the double-checked
+  /// fill; see the .cc for the proof).
+  const std::vector<float>& PublishedTaskFeature(TaskId id) const
+      CROWDRL_NO_THREAD_SAFETY_ANALYSIS;
+
   FeatureConfig config_;
-  // Lazy per-task fill under double-checked locking: the flag is the
-  // publication point, the mutex serializes first fills.
-  mutable std::vector<std::vector<float>> task_cache_;
+  /// Fixed entry count of the task cache (bounds checks without the lock).
+  size_t num_tasks_ = 0;
+  // Lazy per-task fill under double-checked locking: the atomic flags are
+  // the publication point (and therefore deliberately not lock-guarded),
+  // the mutex serializes first fills of the guarded entries.
+  mutable std::vector<std::vector<float>> task_cache_
+      CROWDRL_GUARDED_BY(task_cache_mu_);
   mutable std::unique_ptr<std::atomic<uint8_t>[]> task_cached_;
-  mutable std::mutex task_cache_mu_;
+  mutable Mutex task_cache_mu_;
   std::vector<WorkerHistory> worker_history_;
 };
 

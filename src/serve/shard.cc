@@ -21,23 +21,30 @@ ServiceShard::ServiceShard(TaskArrangementFramework* framework,
 ServiceShard::~ServiceShard() { Stop(); }
 
 void ServiceShard::Start() {
+  MutexLock lifecycle(lifecycle_mu_);
   CROWDRL_CHECK_MSG(!started_, "shard already started");
   // One-shot lifecycle: the queues close permanently on Stop, so a
   // restarted shard would be silently dead (every Rank degraded, every
   // block dropped). Fail loudly instead.
   CROWDRL_CHECK_MSG(!stopped_, "shard is one-shot: construct a new one");
   {
-    std::lock_guard<std::mutex> lk(learner_mu_);
+    MutexLock lk(learner_mu_);
     PublishLocked();  // version 1: the framework's pre-start parameters
   }
-  started_ = true;
   batcher_ = std::thread(&ServiceShard::BatcherLoop, this);
   if (!config_.inline_learning) {
     learner_ = std::thread(&ServiceShard::LearnerLoop, this);
   }
+  // Published last: once a concurrent observer sees started_, both thread
+  // handles are assigned and a racing Stop() joins real threads.
+  started_ = true;
 }
 
 void ServiceShard::Stop() {
+  // Serialized against Start and against concurrent Stops: the loser of
+  // the race blocks here until the winner finished joining, then observes
+  // !started_ and returns instead of double-joining the handles.
+  MutexLock lifecycle(lifecycle_mu_);
   if (!started_) return;
   // Order matters: the batcher drains and fulfills every accepted rank
   // request before the learner queue closes, so feedback for in-flight
@@ -51,7 +58,7 @@ void ServiceShard::Stop() {
 }
 
 void ServiceShard::RecordArrival(const Observation& obs) {
-  std::unique_lock<std::shared_mutex> lk(arrivals_mu_);
+  WriterMutexLock lk(arrivals_mu_);
   framework_->OnArrival(obs);
 }
 
@@ -64,6 +71,10 @@ void ServiceShard::PublishLocked() {
 
 void ServiceShard::PublishNow() {
   Status st = RunOnLearner([this] {
+    // RunOnLearner's contract: the callable executes with learner_mu_
+    // held (on the learner thread or the direct path). The analysis
+    // cannot see through std::function, so assert the capability here.
+    learner_mu_.AssertHeld();
     PublishLocked();
     return Status::OK();
   });
@@ -81,7 +92,7 @@ void ServiceShard::ApplyOneLocked(TransitionBlocks blocks) {
 
 bool ServiceShard::EnqueueBlocks(std::vector<TransitionBlocks>&& blocks) {
   if (config_.inline_learning) {
-    std::lock_guard<std::mutex> lk(learner_mu_);
+    MutexLock lk(learner_mu_);
     for (TransitionBlocks& b : blocks) ApplyOneLocked(std::move(b));
     return true;
   }
@@ -103,13 +114,13 @@ Status ServiceShard::RunOnLearner(std::function<Status()> fn) {
     // Queue closed mid-Stop: execute directly under the learner lock
     // (serialized against the draining learner thread).
   }
-  std::lock_guard<std::mutex> lk(learner_mu_);
+  MutexLock lk(learner_mu_);
   return fn();
 }
 
 void ServiceShard::LearnerLoop() {
   while (auto item = learner_queue_.Pop()) {
-    std::lock_guard<std::mutex> lk(learner_mu_);
+    MutexLock lk(learner_mu_);
     if (item->command) {
       item->command_done->set_value(item->command());
       continue;
@@ -166,7 +177,7 @@ void ServiceShard::BatcherLoop() {
     requests_.fetch_add(static_cast<int64_t>(n));
     batches_.fetch_add(1);
     {
-      std::lock_guard<std::mutex> lk(stats_mu_);
+      MutexLock lk(stats_mu_);
       for (double s : latencies) rank_latency_.Add(s);
     }
   }
@@ -261,7 +272,7 @@ void ServiceShard::Session::Feedback(const Observation& obs,
       shard_->channel_.Load();
   TransitionBlocks blocks;
   {
-    std::shared_lock<std::shared_mutex> lk(shard_->arrivals_mu_);
+    ReaderMutexLock lk(shard_->arrivals_mu_);
     blocks = shard_->framework_->MakeTransitions(obs, ticket.ctx, ranking,
                                                  feedback,
                                                  snapshot->View());
@@ -279,16 +290,17 @@ Status ServiceShard::SaveState(const std::string& path) {
   return RunOnLearner([this, path] {
     // Shared arrivals lock: the statistic may keep moving for other
     // arrivals, but the serialized φ/ϕ state must not be torn mid-write.
-    std::shared_lock<std::shared_mutex> lk(arrivals_mu_);
+    ReaderMutexLock lk(arrivals_mu_);
     return framework_->SaveState(path);
   });
 }
 
 Status ServiceShard::LoadState(const std::string& path) {
   return RunOnLearner([this, path] {
+    learner_mu_.AssertHeld();  // RunOnLearner contract (see PublishNow)
     Status st;
     {
-      std::unique_lock<std::shared_mutex> lk(arrivals_mu_);
+      WriterMutexLock lk(arrivals_mu_);
       st = framework_->LoadState(path);
     }
     if (st.ok()) PublishLocked();  // actors see the restored parameters
@@ -313,7 +325,7 @@ ServiceStats ServiceShard::stats() const {
   out.snapshot_nets_copied = builder_.nets_copied();
   out.snapshot_nets_shared = builder_.nets_shared();
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexLock lk(stats_mu_);
     out.rank_count = rank_latency_.count();
     out.rank_latency_mean_ms = rank_latency_.mean() * 1e3;
     const std::vector<double> tail = rank_latency_.Percentiles({50, 95, 99});
@@ -326,7 +338,7 @@ ServiceStats ServiceShard::stats() const {
 }
 
 PercentileAccumulator ServiceShard::latency_accumulator() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexLock lk(stats_mu_);
   return rank_latency_;
 }
 

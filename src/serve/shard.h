@@ -6,13 +6,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/framework.h"
@@ -248,8 +247,8 @@ class ServiceShard {
   void BatcherLoop();
   void LearnerLoop();
   /// Learner context only (learner_mu_ held).
-  void ApplyOneLocked(TransitionBlocks blocks);
-  void PublishLocked();
+  void ApplyOneLocked(TransitionBlocks blocks) CROWDRL_REQUIRES(learner_mu_);
+  void PublishLocked() CROWDRL_REQUIRES(learner_mu_);
   bool EnqueueBlocks(std::vector<TransitionBlocks>&& blocks);
   /// Fallback permutation for shed / post-shutdown requests.
   std::vector<int> FallbackRanking(const Observation& obs) const;
@@ -258,26 +257,35 @@ class ServiceShard {
   ServiceConfig config_;
 
   SnapshotChannel channel_;
+  /// Mutated only under learner_mu_ (via PublishLocked's REQUIRES); not
+  /// GUARDED_BY because stats() reads its internal atomic counters
+  /// lock-free, which the analysis would flag as a false positive.
   SnapshotBuilder builder_;
   BoundedQueue<RankRequest> request_queue_;
   BoundedQueue<LearnerItem> learner_queue_;
 
-  std::thread batcher_;
-  std::thread learner_;
+  /// Guards the one-shot Start/Stop transition and the thread handles.
+  /// Without it, two concurrent Stop() calls double-join, and Start()
+  /// published `started_` before the handles were assigned. Lock order:
+  /// lifecycle_mu_ → learner_mu_ (the worker threads never take
+  /// lifecycle_mu_, so the order is acyclic).
+  Mutex lifecycle_mu_;
+  std::thread batcher_ CROWDRL_GUARDED_BY(lifecycle_mu_);
+  std::thread learner_ CROWDRL_GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 
   /// Serializes learner-state mutation (training, snapshot copies,
   /// checkpoint IO) across the learner thread / inline feedback callers /
   /// post-shutdown command execution.
-  std::mutex learner_mu_;
+  Mutex learner_mu_;
   /// Arrival statistics: RecordArrival writes exclusively; transition
   /// minting (predictors) and checkpointing read under shared locks.
-  std::shared_mutex arrivals_mu_;
+  SharedMutex arrivals_mu_;
 
   // ---- statistics ----
-  mutable std::mutex stats_mu_;          // guards rank_latency_
-  PercentileAccumulator rank_latency_;   // seconds
+  mutable Mutex stats_mu_;
+  PercentileAccumulator rank_latency_ CROWDRL_GUARDED_BY(stats_mu_);  // s
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> shed_{0};

@@ -35,11 +35,13 @@ std::unique_ptr<ShardedArrangementService> ShardedArrangementService::Create(
 ShardedArrangementService::~ShardedArrangementService() { Stop(); }
 
 void ShardedArrangementService::Start() {
+  MutexLock lk(lifecycle_mu_);
   for (auto& shard : shards_) shard->Start();
   started_ = true;
 }
 
 void ShardedArrangementService::Stop() {
+  MutexLock lk(lifecycle_mu_);
   if (!started_) return;
   // Shards are independent; a sequential drain keeps shutdown simple and
   // each shard's accepted-work guarantees intact.

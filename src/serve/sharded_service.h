@@ -1,10 +1,12 @@
 #ifndef CROWDRL_SERVE_SHARDED_SERVICE_H_
 #define CROWDRL_SERVE_SHARDED_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/sharding.h"
 #include "serve/router.h"
 #include "serve/shard.h"
@@ -136,7 +138,11 @@ class ShardedArrangementService {
   ShardSet owned_;  ///< non-empty only for Create()-built services
   std::unique_ptr<WorkerRouter> router_;
   std::vector<std::unique_ptr<ServiceShard>> shards_;
-  bool started_ = false;
+  /// Serializes Start/Stop (a concurrent Stop pair would race the shards'
+  /// sequential drain); `started_` is atomic so lock-free started() reads
+  /// from other threads are well-defined.
+  Mutex lifecycle_mu_;
+  std::atomic<bool> started_{false};
 };
 
 }  // namespace crowdrl

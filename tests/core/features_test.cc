@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace crowdrl {
 namespace {
 
@@ -126,6 +129,43 @@ TEST(FeatureBuilderTest, DistinctWorkersAreIndependent) {
   fb.RecordCompletion(0, MakeTask(0, 1, 1, 50), 0);
   auto f1 = fb.WorkerFeature(1, 0);
   for (float v : f1) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(FeatureBuilderTest, ConcurrentFirstFillIsRaceFreeAndStable) {
+  // Regression for the double-checked task-cache fill: many threads race
+  // to be the first reader of every task id. Each must observe a fully
+  // built feature at a stable address (the winner fills under the lock;
+  // losers either wait or take the published fast path). Most meaningful
+  // under TSan/ASan CI, but the cross-thread address and value agreement
+  // checks below fail on torn fills even in a plain build.
+  constexpr int kTasks = 64;
+  constexpr int kThreads = 8;
+  FeatureBuilder fb(SmallConfig(), 1, kTasks);
+  std::vector<std::vector<const std::vector<float>*>> seen(
+      kThreads, std::vector<const std::vector<float>*>(kTasks, nullptr));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Staggered orders so first-touch of each id rotates across threads.
+      for (int k = 0; k < kTasks; ++k) {
+        const int id = (k + t * (kTasks / kThreads)) % kTasks;
+        const Task task = MakeTask(id, id % 4, id % 3, 50.0 * (id + 1));
+        const auto& f = fb.TaskFeature(task);
+        ASSERT_EQ(f.size(), fb.task_dim());
+        float sum = 0;
+        for (float v : f) sum += v;
+        ASSERT_EQ(sum, 3.0f) << "torn fill for task " << id;
+        seen[t][id] = &f;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int id = 0; id < kTasks; ++id) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][id], seen[0][id])
+          << "task " << id << " cached at different addresses";
+    }
+  }
 }
 
 }  // namespace

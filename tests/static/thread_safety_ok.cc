@@ -1,0 +1,70 @@
+// Thread-safety analysis smoke check, positive half: idiomatic use of the
+// annotated primitives must compile clean under
+// `clang -fsyntax-only -Wthread-safety -Werror`. Compiled (never run) by
+// the `static/thread_safety_ok` ctest entry on clang builds; its twin
+// thread_safety_violation.cc asserts the analysis actually rejects a
+// GUARDED_BY violation, so together they prove the gate is live.
+
+#include <chrono>
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    crowdrl::MutexLock lk(mu_);
+    ++value_;
+    cv_.NotifyOne();
+  }
+
+  int WaitForPositive() {
+    crowdrl::MutexLock lk(mu_);
+    while (value_ <= 0) cv_.Wait(mu_, lk);
+    return value_;
+  }
+
+  int ReadLocked() CROWDRL_REQUIRES(mu_) { return value_; }
+
+  int ReadViaRequires() {
+    crowdrl::MutexLock lk(mu_);
+    return ReadLocked();
+  }
+
+  int ReadShared() {
+    crowdrl::ReaderMutexLock lk(shared_mu_);
+    return shared_value_;
+  }
+
+  void WriteShared(int v) {
+    crowdrl::WriterMutexLock lk(shared_mu_);
+    shared_value_ = v;
+  }
+
+  void HandOverHand() {
+    crowdrl::MutexLock lk(mu_);
+    ++value_;
+    lk.Unlock();
+    // Not holding mu_ here: touching value_ would be a violation.
+    lk.Lock();
+    ++value_;
+  }
+
+ private:
+  crowdrl::Mutex mu_;
+  crowdrl::CondVar cv_;
+  int value_ CROWDRL_GUARDED_BY(mu_) = 0;
+  crowdrl::SharedMutex shared_mu_;
+  int shared_value_ CROWDRL_GUARDED_BY(shared_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.WriteShared(c.ReadViaRequires());
+  c.HandOverHand();
+  return c.WaitForPositive() + c.ReadShared() > 0 ? 0 : 1;
+}

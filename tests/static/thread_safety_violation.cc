@@ -1,0 +1,28 @@
+// Thread-safety analysis smoke check, negative half: this file contains a
+// deliberate GUARDED_BY violation and MUST FAIL to compile under
+// `clang -fsyntax-only -Wthread-safety -Werror` (the ctest entry is
+// registered WILL_FAIL). If it ever compiles, the analysis gate has gone
+// dead — e.g. the annotation macros stopped expanding — and the "proof"
+// the thread-safety build provides is vacuous.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Broken {
+ public:
+  // Violation: writes the guarded member without holding mu_.
+  void UnlockedWrite() { ++value_; }
+
+ private:
+  crowdrl::Mutex mu_;
+  int value_ CROWDRL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Broken b;
+  b.UnlockedWrite();
+  return 0;
+}
