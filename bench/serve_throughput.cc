@@ -38,6 +38,7 @@ struct SweepPoint {
 struct PointConfig {
   size_t hidden = 32;
   int learn_every = 16;
+  ReplayPipelineConfig replay_pipeline;
   ServiceConfig service;
 
   static PointConfig FromFlags(const CliFlags& flags) {
@@ -46,6 +47,16 @@ struct PointConfig {
         "hidden", 32, "Q-network hidden width (serving-lean default)"));
     cfg.learn_every = static_cast<int>(flags.GetInt(
         "learn_every", 16, "learner step cadence in stored transitions"));
+    cfg.replay_pipeline.pipelined = flags.GetInt(
+        "replay_pipeline", 0,
+        "pipelined replay: background add/sample thread + prefetched "
+        "batches (non-deterministic)") != 0;
+    cfg.replay_pipeline.packed = flags.GetInt(
+        "replay_packed", 0,
+        "packed replay storage: contiguous arena instead of boxed "
+        "transitions") != 0;
+    cfg.replay_pipeline.prefetch_batches = static_cast<size_t>(flags.GetInt(
+        "prefetch", 2, "ready batches the replay prefetcher keeps ahead"));
     cfg.service.max_batch = static_cast<size_t>(flags.GetInt(
         "max_batch", 16, "micro-batcher: max coalesced rank requests"));
     cfg.service.batch_window_us = flags.GetInt(
@@ -75,6 +86,7 @@ FrameworkConfig ServingFrameworkConfig(const PointConfig& point,
     dqn->batch_size = 32;
     dqn->learn_every = point.learn_every;
     dqn->replay.capacity = 1000;
+    dqn->replay_pipeline = point.replay_pipeline;
   }
   cfg.predictor.max_segments = 2;
   cfg.max_failed_stored = 0;  // one transition per MDP per feedback
@@ -155,6 +167,8 @@ void EmitStats(JsonWriter* json, const ServiceStats& s, double wall_s) {
   json->KV("mean_batch_size", s.mean_batch_size);
   json->KV("events_submitted", s.events_submitted);
   json->KV("events_processed", s.events_processed);
+  json->KV("replay_transitions", s.replay_transitions);
+  json->KV("replay_bytes", s.replay_bytes);
   json->KV("snapshot_version", s.snapshot_version);
   json->KV("snapshot_nets_copied", s.snapshot_nets_copied);
   json->KV("snapshot_nets_shared", s.snapshot_nets_shared);
@@ -214,11 +228,17 @@ int Main(int argc, char** argv) {
            "events_learned"});
   JsonWriter json;
   json.BeginObject();
-  json.KV("schema", "crowdrl.serve_throughput.v2");
+  // v3: per-stat replay_transitions / replay_bytes counters, plus the
+  // replay-pipeline mode knobs echoed at top level.
+  json.KV("schema", "crowdrl.serve_throughput.v3");
   json.KV("arrivals_per_point", arrivals);
   json.KV("pool_size", static_cast<int64_t>(wl_cfg.pool_size));
   json.KV("seed", seed);
   json.KV("enqueue_budget_us", point.service.enqueue_budget_us);
+  json.KV("replay_pipelined",
+          static_cast<int64_t>(point.replay_pipeline.pipelined ? 1 : 0));
+  json.KV("replay_packed",
+          static_cast<int64_t>(point.replay_pipeline.packed ? 1 : 0));
   json.Key("points").BeginArray();
 
   for (int shards : shard_counts) {

@@ -22,7 +22,7 @@ DqnAgent::DqnAgent(const DqnAgentConfig& config)
       online_(MakeNet(config.net, config.seed ^ 0xA5A5A5A5ULL)),
       target_(MakeNet(config.net, config.seed ^ 0xA5A5A5A5ULL)),
       optimizer_(online_.Params(), config.opt),
-      replay_(config.replay) {
+      replay_(config.replay, config.batch_size, config.replay_pipeline) {
   // Target starts as an exact copy of the online network.
   target_.CopyFrom(online_);
 }
@@ -68,18 +68,18 @@ double DqnAgent::ComputeFutureValue(const FutureStateSpec& future) const {
   return FutureValueUnder(View(), future, config_.double_q);
 }
 
-size_t DqnAgent::Store(Transition t) {
+void DqnAgent::Store(Transition t) {
   if (!config_.recompute_targets_on_replay) {
     t.target = ComputeTarget(t.reward, t.future);
     t.future.Clear();  // the spec served its purpose; free the memory
   }
   ++store_count_;
-  return replay_.Add(std::move(t));
+  replay_.Add(std::move(t));
 }
 
-size_t DqnAgent::StorePrepared(Transition t) {
+void DqnAgent::StorePrepared(Transition t) {
   ++store_count_;
-  return replay_.Add(std::move(t));
+  replay_.Add(std::move(t));
 }
 
 bool DqnAgent::MaybeLearn() {
@@ -92,9 +92,10 @@ bool DqnAgent::MaybeLearn() {
 
 bool DqnAgent::LearnStep() {
   const size_t batch = config_.batch_size;
-  if (replay_.size() < batch) return false;
-
-  auto samples = replay_.SampleBatch(batch, &rng_);
+  // Synchronous mode samples inline (bit-exact with the pre-pipeline
+  // PrioritizedReplay path); pipelined mode dequeues a prefetched batch.
+  // False = not warm yet (or pipeline stopped): no gradient step.
+  if (!replay_.SampleBatchInto(&batch_, &rng_)) return false;
 
   ThreadPool& pool = ThreadPool::Global();
   const size_t chunks = std::max<size_t>(
@@ -116,7 +117,8 @@ bool DqnAgent::LearnStep() {
     // buffers the serve path uses on this pool thread.
     SetQNetwork::Cache& cache = InferenceWorkspace::ThreadLocal().cache;
     for (size_t i = lo; i < hi; ++i) {
-      const Transition& tr = replay_.at(samples[i].slot);
+      const Transition& tr = batch_.item(i);
+      const double weight = batch_.weight(i);
       const double y = config_.recompute_targets_on_replay
                            ? ComputeTarget(tr.reward, tr.future)
                            : tr.target;
@@ -125,11 +127,10 @@ bool DqnAgent::LearnStep() {
                     tr.action_row < static_cast<int>(q.rows()));
       const double delta = q(tr.action_row, 0) - y;
       td[i] = delta;
-      weighted_sq[i] = samples[i].weight * delta * delta;
+      weighted_sq[i] = weight * delta * delta;
       // d(w·δ²)/dq = 2·w·δ at the action row; zero elsewhere.
       Matrix dq(q.rows(), 1);
-      dq(tr.action_row, 0) =
-          static_cast<float>(2.0 * samples[i].weight * delta);
+      dq(tr.action_row, 0) = static_cast<float>(2.0 * weight * delta);
       online_.Backward(dq, cache, &chunk_grads_[ci]);
     }
   });
@@ -137,11 +138,9 @@ bool DqnAgent::LearnStep() {
   for (size_t c = 1; c < chunks; ++c) chunk_grads_[0].Add(chunk_grads_[c]);
   optimizer_.Step(chunk_grads_[0].g, 1.0 / static_cast<double>(batch));
 
+  replay_.UpdatePriorities(batch_.slots(), td);
   double loss = 0;
-  for (size_t i = 0; i < batch; ++i) {
-    replay_.UpdatePriority(samples[i].slot, td[i]);
-    loss += weighted_sq[i];
-  }
+  for (size_t i = 0; i < batch; ++i) loss += weighted_sq[i];
   last_loss_ = loss / static_cast<double>(batch);
 
   ++learn_steps_;

@@ -1,0 +1,153 @@
+#include "rl/packed_transition_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+namespace {
+
+// Payload sizes of one transition under the packed layout.
+struct PackedExtent {
+  size_t floats = 0;
+  size_t indices = 0;
+};
+
+PackedExtent ExtentOf(const Transition& t) {
+  PackedExtent e;
+  e.floats = t.state.rows() * t.state.cols();
+  e.indices = 1;  // n_branches
+  for (const auto& b : t.future.branches) {
+    e.floats += b.base.rows() * b.base.cols() + b.segments.size();
+    e.indices += 3 + b.segments.size();  // rows, cols, nseg, valid_n…
+  }
+  return e;
+}
+
+}  // namespace
+
+PackedTransitionStore::PackedTransitionStore(size_t capacity) {
+  CROWDRL_CHECK(capacity > 0);
+  headers_.resize(capacity);
+}
+
+void PackedTransitionStore::Put(size_t slot, const Transition& t) {
+  CROWDRL_CHECK(slot < headers_.size());
+  const PackedExtent need = ExtentOf(t);
+  Header& h = headers_[slot];
+  if (h.used && h.f_cap >= need.floats && h.i_cap >= need.indices) {
+    // Steady-state ring overwrite: the slot's old range is large enough —
+    // re-encode in place, no arena growth, no new dead mass.
+  } else {
+    if (h.used) {
+      dead_floats_ += h.f_cap;
+      dead_indices_ += h.i_cap;
+    }
+    h.f_off = float_arena_.size();
+    h.f_cap = need.floats;
+    h.i_off = index_arena_.size();
+    h.i_cap = need.indices;
+    float_arena_.resize(float_arena_.size() + need.floats);
+    index_arena_.resize(index_arena_.size() + need.indices);
+  }
+  h.f_len = need.floats;
+  h.i_len = need.indices;
+  h.state_rows = t.state.rows();
+  h.state_cols = t.state.cols();
+  h.valid_n = t.valid_n;
+  h.action_row = t.action_row;
+  h.reward = t.reward;
+  h.target = t.target;
+  h.used = true;
+
+  float* f = float_arena_.data() + h.f_off;
+  uint32_t* x = index_arena_.data() + h.i_off;
+  const size_t state_n = t.state.rows() * t.state.cols();
+  std::copy(t.state.data(), t.state.data() + state_n, f);
+  f += state_n;
+  *x++ = static_cast<uint32_t>(t.future.branches.size());
+  for (const auto& b : t.future.branches) {
+    *x++ = static_cast<uint32_t>(b.base.rows());
+    *x++ = static_cast<uint32_t>(b.base.cols());
+    *x++ = static_cast<uint32_t>(b.segments.size());
+    const size_t base_n = b.base.rows() * b.base.cols();
+    std::copy(b.base.data(), b.base.data() + base_n, f);
+    f += base_n;
+    for (const auto& seg : b.segments) {
+      *x++ = static_cast<uint32_t>(seg.first);
+      *f++ = seg.second;
+    }
+  }
+
+  const size_t live_floats = float_arena_.size() - dead_floats_;
+  const size_t live_indices = index_arena_.size() - dead_indices_;
+  if (dead_floats_ + dead_indices_ > (live_floats + live_indices) / 2) {
+    Compact();
+  }
+}
+
+void PackedTransitionStore::DecodeInto(size_t slot, Transition* out) const {
+  CROWDRL_CHECK(slot < headers_.size());
+  const Header& h = headers_[slot];
+  CROWDRL_CHECK_MSG(h.used, "DecodeInto on an empty replay slot");
+  const float* f = float_arena_.data() + h.f_off;
+  const uint32_t* x = index_arena_.data() + h.i_off;
+  out->state.Resize(h.state_rows, h.state_cols);
+  const size_t state_n = h.state_rows * h.state_cols;
+  std::copy(f, f + state_n, out->state.data());
+  f += state_n;
+  out->valid_n = h.valid_n;
+  out->action_row = h.action_row;
+  out->reward = h.reward;
+  out->target = h.target;
+  const size_t n_branches = *x++;
+  out->future.branches.resize(n_branches);
+  for (size_t bi = 0; bi < n_branches; ++bi) {
+    FutureStateSpec::Branch& b = out->future.branches[bi];
+    const size_t rows = *x++;
+    const size_t cols = *x++;
+    const size_t nseg = *x++;
+    b.base.Resize(rows, cols);
+    std::copy(f, f + rows * cols, b.base.data());
+    f += rows * cols;
+    b.segments.resize(nseg);
+    for (size_t si = 0; si < nseg; ++si) {
+      b.segments[si].first = *x++;
+      b.segments[si].second = *f++;
+    }
+  }
+}
+
+size_t PackedTransitionStore::ApproxBytes() const {
+  return headers_.size() * sizeof(Header) +
+         float_arena_.size() * sizeof(float) +
+         index_arena_.size() * sizeof(uint32_t);
+}
+
+void PackedTransitionStore::Compact() {
+  std::vector<float> floats;
+  std::vector<uint32_t> indices;
+  floats.reserve(float_arena_.size() - dead_floats_);
+  indices.reserve(index_arena_.size() - dead_indices_);
+  for (Header& h : headers_) {
+    if (!h.used) continue;
+    const size_t f_off = floats.size();
+    const size_t i_off = indices.size();
+    floats.insert(floats.end(), float_arena_.begin() + h.f_off,
+                  float_arena_.begin() + h.f_off + h.f_len);
+    indices.insert(indices.end(), index_arena_.begin() + h.i_off,
+                   index_arena_.begin() + h.i_off + h.i_len);
+    h.f_off = f_off;
+    h.f_cap = h.f_len;  // reuse slack is dropped with the old range
+    h.i_off = i_off;
+    h.i_cap = h.i_len;
+  }
+  float_arena_ = std::move(floats);
+  index_arena_ = std::move(indices);
+  dead_floats_ = 0;
+  dead_indices_ = 0;
+  ++compactions_;
+}
+
+}  // namespace crowdrl

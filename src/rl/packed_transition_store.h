@@ -1,0 +1,86 @@
+#ifndef CROWDRL_RL_PACKED_TRANSITION_STORE_H_
+#define CROWDRL_RL_PACKED_TRANSITION_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rl/transition.h"
+
+namespace crowdrl {
+
+/// \brief Flat arena storage for replay transitions.
+///
+/// A boxed `Transition` owns one `Matrix` per future-state branch plus a
+/// segment vector per branch — at production buffer sizes (millions of
+/// entries) that is allocator-bound: tens of small heap blocks per stored
+/// experience, scattered across the heap. This store flattens every
+/// transition into two pooled arenas with a fixed-size header per ring
+/// slot:
+///
+///   float arena  : [ state payload | per branch: base payload, seg probs ]
+///   index arena  : [ n_branches | per branch: rows, cols, nseg, valid_n… ]
+///
+/// `Put` re-encodes into the slot's previous arena range when the new
+/// payload fits (steady-state ring overwrites reuse capacity and allocate
+/// nothing); when it does not fit, a fresh range is claimed at the arena
+/// tail and the old range becomes dead mass. Compaction rewrites the
+/// arenas in slot order once dead mass exceeds half the live mass, so
+/// total footprint stays within ~1.5× of live payload.
+///
+/// Externally synchronized: `ReplayPipeline` guards it with the core
+/// replay mutex. Not thread-safe on its own.
+class PackedTransitionStore {
+ public:
+  explicit PackedTransitionStore(size_t capacity);
+
+  /// Encodes `t` into ring slot `slot`, replacing any previous occupant.
+  void Put(size_t slot, const Transition& t);
+
+  /// Decodes slot `slot` into `*out`, reusing its existing Matrix/vector
+  /// capacity (hot path: no allocation once shapes have stabilized).
+  void DecodeInto(size_t slot, Transition* out) const;
+
+  /// Direct header reads for cheap field access without a full decode.
+  float reward(size_t slot) const { return headers_[slot].reward; }
+  double target(size_t slot) const { return headers_[slot].target; }
+  bool used(size_t slot) const { return headers_[slot].used; }
+
+  size_t capacity() const { return headers_.size(); }
+
+  /// Arena + header footprint in bytes (live payload plus any
+  /// not-yet-compacted dead ranges — what the process actually holds).
+  size_t ApproxBytes() const;
+
+  /// Dead (superseded, pre-compaction) floats+indices in bytes.
+  size_t DeadBytes() const {
+    return dead_floats_ * sizeof(float) + dead_indices_ * sizeof(uint32_t);
+  }
+  /// Times the arenas were compacted (test/introspection hook).
+  size_t compactions() const { return compactions_; }
+
+ private:
+  struct Header {
+    size_t f_off = 0, f_cap = 0, f_len = 0;  // float-arena range
+    size_t i_off = 0, i_cap = 0, i_len = 0;  // index-arena range
+    size_t state_rows = 0, state_cols = 0;
+    size_t valid_n = 0;
+    int action_row = -1;
+    float reward = 0.0f;
+    double target = 0.0;
+    bool used = false;
+  };
+
+  void Compact();
+
+  std::vector<Header> headers_;
+  std::vector<float> float_arena_;
+  std::vector<uint32_t> index_arena_;
+  size_t dead_floats_ = 0;
+  size_t dead_indices_ = 0;
+  size_t compactions_ = 0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_RL_PACKED_TRANSITION_STORE_H_

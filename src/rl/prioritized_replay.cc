@@ -2,19 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace crowdrl {
 
-PrioritizedReplay::PrioritizedReplay(const PrioritizedReplayConfig& config)
+ProportionalSampler::ProportionalSampler(const PrioritizedReplayConfig& config)
     : config_(config) {
   CROWDRL_CHECK(config.capacity > 0);
   leaves_ = 1;
   while (leaves_ < config.capacity) leaves_ <<= 1;
   tree_.assign(2 * leaves_, 0.0);
-  items_.resize(config.capacity);
 }
 
-void PrioritizedReplay::SetLeaf(size_t leaf, double value) {
+void ProportionalSampler::SetLeaf(size_t leaf, double value) {
   size_t node = leaves_ + leaf;
   tree_[node] = value;
   for (node >>= 1; node >= 1; node >>= 1) {
@@ -23,7 +23,7 @@ void PrioritizedReplay::SetLeaf(size_t leaf, double value) {
   }
 }
 
-size_t PrioritizedReplay::FindPrefix(double mass) const {
+size_t ProportionalSampler::FindPrefix(double mass) const {
   size_t node = 1;
   while (node < leaves_) {
     const double left = tree_[2 * node];
@@ -40,27 +40,29 @@ size_t PrioritizedReplay::FindPrefix(double mass) const {
   return leaf;
 }
 
-size_t PrioritizedReplay::Add(Transition t) {
+size_t ProportionalSampler::Add() {
   const size_t slot = next_;
-  items_[slot] = std::move(t);
   SetLeaf(slot, std::pow(max_priority_, config_.alpha));
   next_ = (next_ + 1) % config_.capacity;
   size_ = std::min(size_ + 1, config_.capacity);
   return slot;
 }
 
-double PrioritizedReplay::beta() const {
+double ProportionalSampler::beta() const {
   const double frac =
       std::min(1.0, static_cast<double>(sample_steps_) /
                         std::max(1.0, config_.beta_anneal_steps));
   return config_.beta0 + (1.0 - config_.beta0) * frac;
 }
 
-std::vector<PrioritizedReplay::Sample> PrioritizedReplay::SampleBatch(
-    size_t batch, Rng* rng) {
+bool ProportionalSampler::SampleBatchInto(size_t batch, Rng* rng,
+                                          std::vector<size_t>* slots,
+                                          std::vector<double>* raw_weights,
+                                          std::vector<float>* weights) {
   CROWDRL_CHECK(size_ > 0);
-  std::vector<Sample> out;
-  out.reserve(batch);
+  slots->resize(batch);
+  raw_weights->resize(batch);
+  weights->resize(batch);
   const double total = tree_[1];
   // Both branches must advance the annealing clock: the uniform fallback
   // used to skip it, silently stalling the beta schedule whenever the tree
@@ -69,13 +71,14 @@ std::vector<PrioritizedReplay::Sample> PrioritizedReplay::SampleBatch(
   sample_steps_ += static_cast<int64_t>(batch);
   if (total <= 0) {
     for (size_t i = 0; i < batch; ++i) {
-      out.push_back({rng->UniformInt(size_), 1.0f});
+      (*slots)[i] = rng->UniformInt(size_);
+      (*raw_weights)[i] = 1.0;
+      (*weights)[i] = 1.0f;
     }
-    return out;
+    return false;
   }
   const double segment = total / static_cast<double>(batch);
   double max_weight = 0.0;
-  std::vector<double> weights(batch);
   for (size_t i = 0; i < batch; ++i) {
     // Stratified: one draw per equal-mass segment.
     const double mass = (static_cast<double>(i) + rng->Uniform()) * segment;
@@ -83,21 +86,55 @@ std::vector<PrioritizedReplay::Sample> PrioritizedReplay::SampleBatch(
     const double prob = tree_[leaves_ + slot] / total;
     const double w =
         std::pow(static_cast<double>(size_) * std::max(prob, 1e-12), -b);
-    weights[i] = w;
+    (*slots)[i] = slot;
+    (*raw_weights)[i] = w;
     max_weight = std::max(max_weight, w);
-    out.push_back({slot, 1.0f});
   }
   for (size_t i = 0; i < batch; ++i) {
-    out[i].weight = static_cast<float>(weights[i] / max_weight);
+    (*weights)[i] = static_cast<float>((*raw_weights)[i] / max_weight);
+  }
+  return true;
+}
+
+void ProportionalSampler::UpdatePriority(size_t slot, double td_error) {
+  CROWDRL_CHECK(slot < config_.capacity);
+  const double p = std::max(std::fabs(td_error), config_.min_priority);
+  max_priority_ = std::max(max_priority_, p);
+  SetLeaf(slot, std::pow(p, config_.alpha));
+}
+
+double ProportionalSampler::LeafPriority(size_t slot) const {
+  CROWDRL_CHECK(slot < config_.capacity);
+  return tree_[leaves_ + slot];
+}
+
+PrioritizedReplay::PrioritizedReplay(const PrioritizedReplayConfig& config)
+    : sampler_(config) {
+  items_.resize(config.capacity);
+}
+
+size_t PrioritizedReplay::Add(Transition t) {
+  const size_t slot = sampler_.Add();
+  items_[slot] = std::move(t);
+  return slot;
+}
+
+std::vector<PrioritizedReplay::Sample> PrioritizedReplay::SampleBatch(
+    size_t batch, Rng* rng) {
+  std::vector<size_t> slots;
+  std::vector<double> raw_weights;
+  std::vector<float> weights;
+  sampler_.SampleBatchInto(batch, rng, &slots, &raw_weights, &weights);
+  std::vector<Sample> out;
+  out.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    out.push_back({slots[i], weights[i]});
   }
   return out;
 }
 
 void PrioritizedReplay::UpdatePriority(size_t slot, double td_error) {
-  CROWDRL_CHECK(slot < config_.capacity);
-  const double p = std::max(std::fabs(td_error), config_.min_priority);
-  max_priority_ = std::max(max_priority_, p);
-  SetLeaf(slot, std::pow(p, config_.alpha));
+  sampler_.UpdatePriority(slot, td_error);
 }
 
 }  // namespace crowdrl

@@ -18,11 +18,68 @@ struct PrioritizedReplayConfig {
   double min_priority = 1e-3;        ///< floor so nothing starves
 };
 
+/// \brief The sum-tree sampling core of proportional prioritized replay,
+/// decoupled from transition ownership.
+///
+/// This class owns everything about *which* slots a batch draws and with
+/// what importance-sampling weights — the implicit binary sum tree, the
+/// ring-slot cursor, the max-seen priority and the β annealing clock — but
+/// nothing about what lives in the slots. `PrioritizedReplay` pairs it with
+/// boxed `Transition` objects (the paper-scale buffer); `ReplayPipeline`
+/// pairs it with either boxed items or a `PackedTransitionStore` arena and
+/// adds the background add/sample threads. Both therefore run the exact
+/// same sampling arithmetic, which is what makes the pipeline's
+/// deterministic synchronous mode bit-exact against this class.
+class ProportionalSampler {
+ public:
+  explicit ProportionalSampler(const PrioritizedReplayConfig& config);
+
+  /// Claims the next ring slot with max-seen priority (new experiences
+  /// replay at least once) and returns it. The caller stores the payload.
+  size_t Add();
+
+  /// Stratified sample of `batch` slots into the three parallel output
+  /// arrays (resized to `batch`; capacity is reused). `raw_weights` holds
+  /// the unnormalized (N·P(i))^{−β} terms — `ReplayPipeline` renormalizes
+  /// them when it refreshes a prefetched batch against newer priorities —
+  /// and `weights` the max-normalized float weights in (0, 1]. Returns
+  /// false iff the total mass was zero and the uniform fallback ran (all
+  /// weights 1). Advances the β annealing clock either way.
+  bool SampleBatchInto(size_t batch, Rng* rng, std::vector<size_t>* slots,
+                       std::vector<double>* raw_weights,
+                       std::vector<float>* weights);
+
+  /// Re-prioritizes a slot after its TD error was re-evaluated.
+  void UpdatePriority(size_t slot, double td_error);
+
+  /// Unnormalized priority mass of one slot (the sum-tree leaf value).
+  double LeafPriority(size_t slot) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return config_.capacity; }
+  double total_priority() const { return tree_[1]; }
+  double beta() const;
+  const PrioritizedReplayConfig& config() const { return config_; }
+
+ private:
+  void SetLeaf(size_t leaf, double value);
+  size_t FindPrefix(double mass) const;
+
+  PrioritizedReplayConfig config_;
+  size_t leaves_;              // power-of-two leaf count
+  std::vector<double> tree_;   // 1-indexed implicit binary tree
+  size_t size_ = 0;
+  size_t next_ = 0;
+  double max_priority_ = 1.0;
+  int64_t sample_steps_ = 0;
+};
+
 /// \brief Proportional prioritized experience replay backed by a sum tree.
 ///
 /// Priorities are |TD error|^α; sampling is stratified over the cumulative
 /// mass; importance-sampling weights (N·P(i))^{−β} / max_j w_j correct the
-/// induced bias, with β annealed toward 1.
+/// induced bias, with β annealed toward 1. The sampling arithmetic lives in
+/// ProportionalSampler; this class adds boxed transition ownership.
 class PrioritizedReplay {
  public:
   explicit PrioritizedReplay(const PrioritizedReplayConfig& config);
@@ -45,24 +102,15 @@ class PrioritizedReplay {
   Transition& at(size_t slot) { return items_[slot]; }
   const Transition& at(size_t slot) const { return items_[slot]; }
 
-  size_t size() const { return size_; }
-  size_t capacity() const { return config_.capacity; }
-  bool empty() const { return size_ == 0; }
-  double total_priority() const { return tree_[1]; }
-  double beta() const;
+  size_t size() const { return sampler_.size(); }
+  size_t capacity() const { return sampler_.capacity(); }
+  bool empty() const { return sampler_.size() == 0; }
+  double total_priority() const { return sampler_.total_priority(); }
+  double beta() const { return sampler_.beta(); }
 
  private:
-  void SetLeaf(size_t leaf, double value);
-  size_t FindPrefix(double mass) const;
-
-  PrioritizedReplayConfig config_;
-  size_t leaves_;              // power-of-two leaf count
-  std::vector<double> tree_;   // 1-indexed implicit binary tree
+  ProportionalSampler sampler_;
   std::vector<Transition> items_;
-  size_t size_ = 0;
-  size_t next_ = 0;
-  double max_priority_ = 1.0;
-  int64_t sample_steps_ = 0;
 };
 
 }  // namespace crowdrl

@@ -1,0 +1,306 @@
+#include "rl/replay_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crowdrl {
+
+namespace {
+/// How long consumers park between liveness re-checks. Short enough that a
+/// stats()/Flush caller is never visibly delayed, long enough not to spin.
+constexpr int64_t kParkUs = 1000;
+}  // namespace
+
+ReplayPipeline::ReplayPipeline(const PrioritizedReplayConfig& replay_config,
+                               size_t batch_size,
+                               const ReplayPipelineConfig& config)
+    : batch_size_(batch_size < 1 ? 1 : batch_size),
+      capacity_(replay_config.capacity),
+      config_(config),
+      sampler_(replay_config),
+      ops_(config.op_queue_capacity),
+      ready_(std::max<size_t>(1, config.prefetch_batches)),
+      free_(config.prefetch_batches + 2) {
+  generations_.resize(capacity_, 0);
+  if (config_.packed) {
+    store_ = std::make_unique<PackedTransitionStore>(capacity_);
+  } else {
+    boxed_.resize(capacity_);
+    slot_bytes_.resize(capacity_, 0);
+  }
+  if (config_.pipelined) {
+    // Pooled batch shells: the prefetcher fills them, the learner swaps
+    // its own shell for a filled one and recycles the old shell here.
+    for (size_t i = 0; i < config_.prefetch_batches + 2; ++i) {
+      free_.Push(std::make_unique<Batch>());
+    }
+    prefetcher_ = std::thread(&ReplayPipeline::PrefetchLoop, this);
+  }
+}
+
+ReplayPipeline::~ReplayPipeline() { Stop(); }
+
+void ReplayPipeline::Stop() {
+  {
+    MutexLock lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  ops_.Close();
+  free_.Close();
+  ready_.Close();
+  if (prefetcher_.joinable()) prefetcher_.join();
+}
+
+void ReplayPipeline::Add(Transition t) {
+  if (config_.pipelined) {
+    Op op;
+    op.is_add = true;
+    op.add = std::move(t);
+    ops_.Push(std::move(op));  // blocks when full (backpressure)
+    return;
+  }
+  MutexLock lk(mu_);
+  ApplyAddLocked(std::move(t));
+}
+
+void ReplayPipeline::UpdatePriorities(const std::vector<size_t>& slots,
+                                      const std::vector<double>& td_errors) {
+  CROWDRL_CHECK(slots.size() == td_errors.size());
+  if (config_.pipelined) {
+    Op op;
+    op.slots = slots;
+    op.tds = td_errors;
+    ops_.Push(std::move(op));
+    return;
+  }
+  MutexLock lk(mu_);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    sampler_.UpdatePriority(slots[i], td_errors[i]);
+  }
+}
+
+bool ReplayPipeline::SampleBatchInto(Batch* out, Rng* rng) {
+  if (!config_.pipelined) {
+    MutexLock lk(mu_);
+    if (stopped_ || sampler_.size() < batch_size_) return false;
+    FillBatchLocked(out, rng);
+    return true;
+  }
+  for (;;) {
+    std::optional<std::unique_ptr<Batch>> got = ready_.PopFor(kParkUs);
+    if (got) {
+      std::unique_ptr<Batch> filled = std::move(*got);
+      {
+        MutexLock lk(mu_);
+        // Leftover prefetched batches do not outlive Stop: the documented
+        // contract is "stopped → false", not "stopped → drain the queue".
+        if (stopped_) return false;
+        // Refresh-at-dequeue: every operation submitted before this call
+        // is applied, then the prefetched batch's weights are recomputed
+        // against the post-update priorities (see class comment).
+        DrainOpsLocked();
+        RefreshWeightsLocked(filled.get());
+      }
+      std::swap(out->slots_, filled->slots_);
+      std::swap(out->generations_, filled->generations_);
+      std::swap(out->raw_weights_, filled->raw_weights_);
+      std::swap(out->weights_, filled->weights_);
+      std::swap(out->items_, filled->items_);
+      std::swap(out->storage_, filled->storage_);
+      out->beta_ = filled->beta_;
+      out->size_at_sample_ = filled->size_at_sample_;
+      out->uniform_ = filled->uniform_;
+      free_.Push(std::move(filled));  // recycle the learner's old shell
+      return true;
+    }
+    MutexLock lk(mu_);
+    DrainOpsLocked();
+    if (stopped_) return false;
+    if (sampler_.size() < batch_size_) return false;  // not warm yet
+    // Warm but the prefetcher has not produced yet — wait again.
+  }
+}
+
+void ReplayPipeline::Flush() {
+  MutexLock lk(mu_);
+  DrainOpsLocked();
+}
+
+void ReplayPipeline::PrefetchLoop() {
+  Rng rng(config_.seed);
+  for (;;) {
+    std::optional<std::unique_ptr<Batch>> shell = free_.Pop();
+    if (!shell) return;  // pool closed: stopping
+    std::unique_ptr<Batch> batch = std::move(*shell);
+    bool filled = false;
+    while (!filled) {
+      {
+        MutexLock lk(mu_);
+        DrainOpsLocked();
+        if (stopped_) return;
+        if (sampler_.size() >= batch_size_) {
+          FillBatchLocked(batch.get(), &rng);
+          filled = true;
+        }
+      }
+      if (!filled) {
+        // Not warm: park on the op queue so the wake-up is the arrival of
+        // traffic rather than a timer tick. (Pre-warm only — see the
+        // FIFO note in the class comment.)
+        std::optional<Op> op = ops_.PopFor(kParkUs);
+        if (op) {
+          MutexLock lk(mu_);
+          ApplyOpLocked(&*op);
+        } else if (ops_.closed()) {
+          return;
+        }
+      }
+    }
+    // Hand-off with liveness: while the ready queue is full (the learner
+    // stores without sampling), keep draining producer ops under the core
+    // mutex so Add() stalls for at most one park interval instead of
+    // deadlocking behind a parked prefetcher. Draining under mu_ keeps the
+    // post-warm FIFO guarantee — no op is ever held outside the lock.
+    for (;;) {
+      const auto result = ready_.TryPushFor(&batch, kParkUs);
+      if (result == BoundedQueue<std::unique_ptr<Batch>>::PushResult::kOk) {
+        break;
+      }
+      if (result ==
+          BoundedQueue<std::unique_ptr<Batch>>::PushResult::kClosed) {
+        return;  // stopping
+      }
+      MutexLock lk(mu_);
+      if (stopped_) return;
+      DrainOpsLocked();
+    }
+  }
+}
+
+void ReplayPipeline::DrainOpsLocked() {
+  if (!config_.pipelined) return;
+  // Drain only the ops present at entry. An open-ended `while (TryPop)`
+  // loop does not terminate on a saturated machine: concurrent producers
+  // refill the queue as fast as it drains, so the drainer holds mu_
+  // indefinitely and the prefetcher starves (observed as a livelock under
+  // TSan on one core). Ops that arrive during the drain were not submitted
+  // before the caller's operation, so bounding the drain this way preserves
+  // the refresh-at-dequeue FIFO contract exactly.
+  size_t budget = ops_.size();
+  while (budget-- > 0) {
+    std::optional<Op> op = ops_.TryPop();
+    if (!op) break;
+    ApplyOpLocked(&*op);
+  }
+}
+
+void ReplayPipeline::ApplyOpLocked(Op* op) {
+  if (op->is_add) {
+    ApplyAddLocked(std::move(op->add));
+    return;
+  }
+  for (size_t i = 0; i < op->slots.size(); ++i) {
+    sampler_.UpdatePriority(op->slots[i], op->tds[i]);
+  }
+}
+
+void ReplayPipeline::ApplyAddLocked(Transition t) {
+  const size_t slot = sampler_.Add();
+  ++generations_[slot];
+  if (config_.packed) {
+    store_->Put(slot, t);
+    approx_bytes_.store(store_->ApproxBytes(), std::memory_order_release);
+  } else {
+    const size_t bytes = t.ApproxBytes();
+    boxed_bytes_ += bytes;
+    boxed_bytes_ -= slot_bytes_[slot];
+    slot_bytes_[slot] = bytes;
+    boxed_[slot] = std::move(t);
+    approx_bytes_.store(boxed_bytes_, std::memory_order_release);
+  }
+  size_.store(sampler_.size(), std::memory_order_release);
+  transitions_stored_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ReplayPipeline::FillBatchLocked(Batch* b, Rng* rng) {
+  // beta() must be read before the sample advances the annealing clock:
+  // it is the exponent this batch's weights are computed with, and the
+  // refresh-at-dequeue recompute must reuse exactly it.
+  b->beta_ = sampler_.beta();
+  b->uniform_ = !sampler_.SampleBatchInto(batch_size_, rng, &b->slots_,
+                                          &b->raw_weights_, &b->weights_);
+  b->size_at_sample_ = sampler_.size();
+  b->generations_.resize(batch_size_);
+  b->items_.resize(batch_size_);
+  // Pipelined batches always materialize owned copies: by delivery time a
+  // concurrent add may have overwritten any sampled slot. The synchronous
+  // boxed mode serves pointers into the store (no adds can interleave).
+  const bool materialize = config_.pipelined || config_.packed;
+  if (materialize) b->storage_.resize(batch_size_);
+  for (size_t i = 0; i < batch_size_; ++i) {
+    const size_t slot = b->slots_[i];
+    b->generations_[i] = generations_[slot];
+    if (!materialize) {
+      b->items_[i] = &boxed_[slot];
+      continue;
+    }
+    if (config_.packed) {
+      store_->DecodeInto(slot, &b->storage_[i]);
+    } else {
+      b->storage_[i] = boxed_[slot];
+    }
+    b->items_[i] = &b->storage_[i];
+  }
+}
+
+void ReplayPipeline::RefreshWeightsLocked(Batch* b) {
+  if (b->uniform_) return;  // fallback batches carry no priority weights
+  const double total = sampler_.total_priority();
+  if (total <= 0) return;  // mass vanished since sampling; keep as sampled
+  const double n = static_cast<double>(b->size_at_sample_);
+  double max_weight = 0.0;
+  for (size_t i = 0; i < b->slots_.size(); ++i) {
+    // Slots overwritten since sampling keep their sample-time weight —
+    // the materialized transition is still the sampled occupant, and the
+    // new occupant's priority says nothing about it.
+    if (generations_[b->slots_[i]] == b->generations_[i]) {
+      const double prob = sampler_.LeafPriority(b->slots_[i]) / total;
+      b->raw_weights_[i] = std::pow(n * std::max(prob, 1e-12), -b->beta_);
+    }
+    max_weight = std::max(max_weight, b->raw_weights_[i]);
+  }
+  for (size_t i = 0; i < b->weights_.size(); ++i) {
+    b->weights_[i] = static_cast<float>(b->raw_weights_[i] / max_weight);
+  }
+}
+
+double ReplayPipeline::beta() const {
+  MutexLock lk(mu_);
+  return sampler_.beta();
+}
+
+double ReplayPipeline::total_priority() const {
+  MutexLock lk(mu_);
+  return sampler_.total_priority();
+}
+
+double ReplayPipeline::LeafPriority(size_t slot) const {
+  MutexLock lk(mu_);
+  return sampler_.LeafPriority(slot);
+}
+
+void ReplayPipeline::CopyItem(size_t slot, Transition* out) const {
+  MutexLock lk(mu_);
+  CROWDRL_CHECK(slot < capacity_);
+  if (config_.packed) {
+    store_->DecodeInto(slot, out);
+  } else {
+    *out = boxed_[slot];
+  }
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,217 @@
+#ifndef CROWDRL_RL_REPLAY_PIPELINE_H_
+#define CROWDRL_RL_REPLAY_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "rl/packed_transition_store.h"
+#include "rl/prioritized_replay.h"
+#include "rl/transition.h"
+
+namespace crowdrl {
+
+/// Deployment knobs of the replay pipeline. The defaults reproduce the
+/// paper-scale serial path: synchronous, boxed, bit-exact against
+/// `PrioritizedReplay`.
+struct ReplayPipelineConfig {
+  /// Move add/priority-update application and batch sampling onto a
+  /// dedicated background thread with `prefetch_batches` ready batches, so
+  /// the learner's sample call is an O(1) dequeue instead of an inline
+  /// sum-tree walk. Non-deterministic (the prefetcher owns its own RNG
+  /// stream); keep false for the serial == 1-actor == sharded-1×1
+  /// equivalence chain.
+  bool pipelined = false;
+  /// Store transitions in a `PackedTransitionStore` arena instead of boxed
+  /// `std::vector<Transition>` slots — memory-bound instead of
+  /// allocator-bound at production buffer sizes.
+  bool packed = false;
+  /// Ready batches the prefetcher keeps ahead of the learner.
+  size_t prefetch_batches = 2;
+  /// Bound on queued add/update operations (producer backpressure).
+  size_t op_queue_capacity = 4096;
+  /// RNG stream of the prefetch thread (pipelined mode only).
+  uint64_t seed = 0x7C0FFEE5EEDULL;
+};
+
+/// \brief Production-scale prioritized replay: a `ProportionalSampler` core
+/// behind an optional background add/sample/update pipeline and optional
+/// packed arena storage.
+///
+/// Two modes share one code path through the sampler (so they share every
+/// float op and RNG call):
+///
+///  * **Synchronous** (default): `Add`/`UpdatePriorities` apply inline
+///    under the core mutex and `SampleBatchInto` walks the sum tree on the
+///    caller's thread with the caller's RNG — bit-exact against
+///    `PrioritizedReplay` by construction.
+///  * **Pipelined**: producers enqueue operations into a bounded FIFO op
+///    queue; a prefetch thread drains them, samples the next batch with its
+///    own RNG stream, materializes the transitions into a pooled `Batch`,
+///    and hands it off through a bounded ready queue. The learner's
+///    `SampleBatchInto` dequeues a ready batch in O(1) and recycles its own
+///    previous batch shell into the pool, so the steady state allocates
+///    nothing and the gradient cadence never waits on tree traversal.
+///
+/// **Stale-priority semantics** (pinned by replay_pipeline_test): a batch
+/// prefetched before a priority update was submitted is *not* discarded —
+/// at dequeue time all previously submitted operations are applied and the
+/// batch's importance weights are recomputed against the post-update leaf
+/// priorities (at sample-time β and N). Slots whose occupant was replaced
+/// since sampling (detected via per-slot generation counters) keep their
+/// sample-time weights; uniform-fallback batches are left untouched.
+///
+/// Operation FIFO: ops are applied in submission order. Ops are only ever
+/// popped while holding the core mutex once the buffer is warm; before
+/// warm-up the prefetcher may additionally park on the op queue directly,
+/// where a concurrent caller-side drain can reorder *adds among
+/// themselves* — harmless, since sampling has not begun and all adds carry
+/// identical (max) priority.
+///
+/// Lock order: core mutex → queue-internal mutexes. The prefetcher never
+/// blocks on a queue while holding the core mutex.
+class ReplayPipeline {
+ public:
+  /// One sampled minibatch. Persistent: the learner keeps one `Batch`
+  /// across steps so its vectors (and, in pipelined mode, the pooled
+  /// shells it swaps with) reach a steady state with zero allocation.
+  class Batch {
+   public:
+    size_t size() const { return slots_.size(); }
+    size_t slot(size_t i) const { return slots_[i]; }
+    /// Normalized importance-sampling weight in (0, 1].
+    float weight(size_t i) const { return weights_[i]; }
+    /// The sampled transition. Valid until the next SampleBatchInto call
+    /// on this batch (synchronous boxed mode points into the store; all
+    /// other modes materialize owned copies).
+    const Transition& item(size_t i) const { return *items_[i]; }
+    const std::vector<size_t>& slots() const { return slots_; }
+    /// β at sample time (the exponent the weights were computed with).
+    double beta() const { return beta_; }
+    /// Buffer size at sample time (the N of the weight formula).
+    size_t size_at_sample() const { return size_at_sample_; }
+    /// True iff the tree mass was zero and the uniform fallback sampled.
+    bool uniform() const { return uniform_; }
+
+   private:
+    friend class ReplayPipeline;
+    std::vector<size_t> slots_;
+    std::vector<uint64_t> generations_;
+    std::vector<double> raw_weights_;  // unnormalized (N·P)^{−β}
+    std::vector<float> weights_;
+    std::vector<const Transition*> items_;
+    std::vector<Transition> storage_;  // materialized copies (owning modes)
+    double beta_ = 0.0;
+    size_t size_at_sample_ = 0;
+    bool uniform_ = false;
+  };
+
+  ReplayPipeline(const PrioritizedReplayConfig& replay_config,
+                 size_t batch_size, const ReplayPipelineConfig& config);
+  ~ReplayPipeline();
+
+  ReplayPipeline(const ReplayPipeline&) = delete;
+  ReplayPipeline& operator=(const ReplayPipeline&) = delete;
+
+  /// Stores a transition (inline in synchronous mode; enqueued toward the
+  /// pipeline thread otherwise, blocking only when the op queue is full).
+  /// The stall is bounded: the prefetcher keeps draining ops even while
+  /// the ready-batch queue is full, so a producer that stores many
+  /// transitions between sampling calls never deadlocks behind it.
+  void Add(Transition t);
+
+  /// Re-prioritizes `slots[i]` with TD error `td_errors[i]`, in order.
+  void UpdatePriorities(const std::vector<size_t>& slots,
+                        const std::vector<double>& td_errors);
+
+  /// Fills `*out` with the next minibatch. Returns false when the buffer
+  /// holds fewer than `batch_size` transitions (counting queued adds) or
+  /// the pipeline is stopped. Synchronous mode samples inline with `rng`
+  /// (bit-exact vs PrioritizedReplay); pipelined mode dequeues the
+  /// prefetched batch (`rng` unused) and refreshes its weights against all
+  /// previously submitted priority updates.
+  bool SampleBatchInto(Batch* out, Rng* rng);
+
+  /// Applies every operation submitted so far on the calling thread.
+  /// Cheap in synchronous mode (ops are never queued); never deadlocks.
+  void Flush();
+
+  /// Stops the pipeline thread and wakes all blocked callers. Idempotent;
+  /// also run by the destructor.
+  void Stop();
+
+  // ---- introspection (all thread-safe) ----
+  /// Transitions currently resident in the sampler (applied adds).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  size_t capacity() const { return capacity_; }
+  size_t batch_size() const { return batch_size_; }
+  bool pipelined() const { return config_.pipelined; }
+  bool packed() const { return config_.packed; }
+  /// Total adds ever applied (monotone; drives learn-cadence counters).
+  uint64_t transitions_stored() const {
+    return transitions_stored_.load(std::memory_order_acquire);
+  }
+  /// Approximate bytes held by transition storage (payload + headers).
+  size_t ApproxBytes() const {
+    return approx_bytes_.load(std::memory_order_acquire);
+  }
+  /// Ready batches currently prefetched (0 in synchronous mode).
+  size_t prefetched_batches() const { return ready_.size(); }
+  double beta() const;
+  double total_priority() const;
+  /// Unnormalized leaf priority of one slot.
+  double LeafPriority(size_t slot) const;
+  /// Copies the current occupant of `slot` (test hook; any mode).
+  void CopyItem(size_t slot, Transition* out) const;
+
+ private:
+  /// One queued operation: an add or a batch of priority updates.
+  struct Op {
+    bool is_add = false;
+    Transition add;
+    std::vector<size_t> slots;
+    std::vector<double> tds;
+  };
+
+  void PrefetchLoop();
+  void DrainOpsLocked() CROWDRL_REQUIRES(mu_);
+  void ApplyOpLocked(Op* op) CROWDRL_REQUIRES(mu_);
+  void ApplyAddLocked(Transition t) CROWDRL_REQUIRES(mu_);
+  void FillBatchLocked(Batch* b, Rng* rng) CROWDRL_REQUIRES(mu_);
+  void RefreshWeightsLocked(Batch* b) CROWDRL_REQUIRES(mu_);
+
+  const size_t batch_size_;
+  const size_t capacity_;
+  const ReplayPipelineConfig config_;
+
+  mutable Mutex mu_;
+  ProportionalSampler sampler_ CROWDRL_GUARDED_BY(mu_);
+  /// Boxed storage (empty when packed) and packed arena (null when boxed).
+  std::vector<Transition> boxed_ CROWDRL_GUARDED_BY(mu_);
+  std::unique_ptr<PackedTransitionStore> store_ CROWDRL_GUARDED_BY(mu_);
+  /// Bumped on every add into a slot — lets a prefetched batch detect that
+  /// a sampled slot was overwritten before its weights were refreshed.
+  std::vector<uint64_t> generations_ CROWDRL_GUARDED_BY(mu_);
+  std::vector<size_t> slot_bytes_ CROWDRL_GUARDED_BY(mu_);
+  size_t boxed_bytes_ CROWDRL_GUARDED_BY(mu_) = 0;
+  bool stopped_ CROWDRL_GUARDED_BY(mu_) = false;
+
+  BoundedQueue<Op> ops_;
+  BoundedQueue<std::unique_ptr<Batch>> ready_;
+  BoundedQueue<std::unique_ptr<Batch>> free_;
+  std::thread prefetcher_;
+
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> approx_bytes_{0};
+  std::atomic<uint64_t> transitions_stored_{0};
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_RL_REPLAY_PIPELINE_H_

@@ -48,6 +48,18 @@ struct FutureStateSpec {
     }
     return m;
   }
+
+  /// Approximate heap + inline footprint in bytes. Counts live elements
+  /// (size), not reserved capacity, so boxed and packed storage are
+  /// compared on the payload they actually hold.
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(branches) + branches.size() * sizeof(Branch);
+    for (const auto& b : branches) {
+      bytes += b.base.rows() * b.base.cols() * sizeof(float);
+      bytes += b.segments.size() * sizeof(std::pair<size_t, float>);
+    }
+    return bytes;
+  }
 };
 
 /// \brief One stored experience (s_i, a_i, r_i, future-distribution).
@@ -61,6 +73,14 @@ struct Transition {
   /// Bellman target, computed when the transition is stored (the default)
   /// or refreshed at replay time (config option).
   double target = 0.0;
+
+  /// Approximate memory footprint (struct + owned payload) in bytes —
+  /// the unit of the serve stack's `replay_bytes` capacity-planning
+  /// counter. Sized on live elements, not vector capacity.
+  size_t ApproxBytes() const {
+    return sizeof(Transition) + state.rows() * state.cols() * sizeof(float) +
+           future.ApproxBytes() - sizeof(FutureStateSpec);
+  }
 };
 
 }  // namespace crowdrl

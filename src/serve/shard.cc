@@ -212,7 +212,11 @@ ServiceShard::Session::Session(ServiceShard* shard)
           // Feedback() returns with the event already learned.
           shard->config_.inline_learning
               ? 1
-              : shard->config_.flush_block_events) {}
+              : shard->config_.flush_block_events,
+          [](const TransitionBlocks& blocks) { return blocks.ApproxBytes(); },
+          shard->config_.inline_learning ? 0
+                                         : shard->config_.flush_block_bytes) {
+}
 
 ServiceShard::Session::~Session() { Flush(); }
 
@@ -321,6 +325,13 @@ ServiceStats ServiceShard::stats() const {
   out.events_submitted = events_submitted_.load();
   out.events_processed = events_processed_.load();
   out.blocks_dropped = blocks_dropped_.load();
+  // Atomic-backed replay counters: safe to read while the learner trains.
+  for (const DqnAgent* agent :
+       {framework_->worker_agent(), framework_->requester_agent()}) {
+    if (agent == nullptr) continue;
+    out.replay_transitions += static_cast<int64_t>(agent->replay_transitions());
+    out.replay_bytes += static_cast<int64_t>(agent->replay_bytes());
+  }
   out.snapshot_version = channel_.version();
   out.snapshot_nets_copied = builder_.nets_copied();
   out.snapshot_nets_shared = builder_.nets_shared();

@@ -46,6 +46,12 @@ struct ServiceConfig {
   /// Per-session local buffer: feedback events accumulate locally and
   /// flush to the learner in blocks of this many events.
   size_t flush_block_events = 4;
+  /// Byte budget of one local block: a block also flushes once its
+  /// transitions' ApproxBytes reach this bound (0 = count-only flushing).
+  /// Keeps large payloads — retained future specs, wide task pools — from
+  /// parking in actor-local buffers while small events still amortize the
+  /// learner-queue hand-off.
+  size_t flush_block_bytes = 0;
   /// Publish a fresh parameter snapshot every this many learned feedback
   /// events (1 = after every event, the paper's per-feedback cadence).
   int64_t publish_every_events = 1;
@@ -86,6 +92,10 @@ struct ServiceStats {
   int64_t events_submitted = 0;  ///< feedback events entering the pipeline
   int64_t events_processed = 0;  ///< feedback events learned
   int64_t blocks_dropped = 0;    ///< flush blocks rejected after shutdown
+  /// Replay capacity planning: transitions resident in (and approximate
+  /// bytes held by) the agents' replay buffers, summed over both MDPs.
+  int64_t replay_transitions = 0;
+  int64_t replay_bytes = 0;
   uint64_t snapshot_version = 0;
   int64_t snapshot_nets_copied = 0;  ///< nets deep-copied by publication
   int64_t snapshot_nets_shared = 0;  ///< nets reused via delta-publication

@@ -91,6 +91,8 @@ ShardedServiceStats ShardedArrangementService::stats() const {
     out.aggregate.events_submitted += s.events_submitted;
     out.aggregate.events_processed += s.events_processed;
     out.aggregate.blocks_dropped += s.blocks_dropped;
+    out.aggregate.replay_transitions += s.replay_transitions;
+    out.aggregate.replay_bytes += s.replay_bytes;
     // Shards version independently; the aggregate reports the most
     // advanced chain (a sum would be meaningless as a version).
     out.aggregate.snapshot_version =

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -60,8 +61,10 @@ DqnAgentConfig TrainingConfig() {
 }
 
 // Stores `n` transitions drawn from `seed` and runs `steps` learner steps.
-DqnAgent TrainOnce(int n, int steps, uint64_t seed) {
-  DqnAgent agent(TrainingConfig());
+// Heap-allocated: DqnAgent is pinned in place by its replay pipeline.
+std::unique_ptr<DqnAgent> TrainOnce(int n, int steps, uint64_t seed) {
+  auto agent_ptr = std::make_unique<DqnAgent>(TrainingConfig());
+  DqnAgent& agent = *agent_ptr;
   Rng rng(seed);
   for (int i = 0; i < n; ++i) {
     Transition t;
@@ -78,7 +81,7 @@ DqnAgent TrainOnce(int n, int steps, uint64_t seed) {
     agent.Store(std::move(t));
   }
   for (int i = 0; i < steps; ++i) agent.LearnStep();
-  return agent;
+  return agent_ptr;
 }
 
 void ExpectBitIdentical(const SetQNetwork& x, const SetQNetwork& y) {
@@ -96,30 +99,30 @@ void ExpectBitIdentical(const SetQNetwork& x, const SetQNetwork& y) {
 }
 
 TEST(DeterminismTest, DqnTrainingIsBitReproducible) {
-  DqnAgent first = TrainOnce(24, 30, 2024);
-  DqnAgent second = TrainOnce(24, 30, 2024);
-  ASSERT_EQ(first.learn_steps(), second.learn_steps());
-  ASSERT_GT(first.learn_steps(), 0);
-  EXPECT_EQ(first.last_loss(), second.last_loss());
-  ExpectBitIdentical(first.online(), second.online());
-  ExpectBitIdentical(first.target_net(), second.target_net());
+  auto first = TrainOnce(24, 30, 2024);
+  auto second = TrainOnce(24, 30, 2024);
+  ASSERT_EQ(first->learn_steps(), second->learn_steps());
+  ASSERT_GT(first->learn_steps(), 0);
+  EXPECT_EQ(first->last_loss(), second->last_loss());
+  ExpectBitIdentical(first->online(), second->online());
+  ExpectBitIdentical(first->target_net(), second->target_net());
 
   // Bit-identical weights imply bit-identical decisions on a fresh state.
   Rng probe_rng(55);
   Matrix probe = Matrix::Uniform(5, 6, &probe_rng);
-  auto q1 = first.Scores(probe, 5);
-  auto q2 = second.Scores(probe, 5);
+  auto q1 = first->Scores(probe, 5);
+  auto q2 = second->Scores(probe, 5);
   ASSERT_EQ(q1.size(), q2.size());
   for (size_t i = 0; i < q1.size(); ++i) EXPECT_EQ(q1[i], q2[i]);
 }
 
 TEST(DeterminismTest, DqnTrainingDependsOnSeed) {
-  DqnAgent first = TrainOnce(24, 10, 1);
-  DqnAgent second = TrainOnce(24, 10, 2);
+  auto first = TrainOnce(24, 10, 1);
+  auto second = TrainOnce(24, 10, 2);
   Rng probe_rng(55);
   Matrix probe = Matrix::Uniform(5, 6, &probe_rng);
-  auto q1 = first.Scores(probe, 5);
-  auto q2 = second.Scores(probe, 5);
+  auto q1 = first->Scores(probe, 5);
+  auto q2 = second->Scores(probe, 5);
   bool any_diff = false;
   for (size_t i = 0; i < q1.size(); ++i) any_diff |= (q1[i] != q2[i]);
   EXPECT_TRUE(any_diff);

@@ -1,0 +1,152 @@
+#include "rl/packed_transition_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crowdrl {
+namespace {
+
+Transition MakeTransition(Rng* rng, size_t rows, size_t branches,
+                          size_t nseg) {
+  Transition t;
+  t.state = Matrix::Uniform(rows, 6, rng);
+  t.valid_n = rows;
+  t.action_row = static_cast<int>(rng->UniformInt(rows));
+  t.reward = static_cast<float>(rng->Uniform());
+  t.target = rng->Uniform();
+  t.future.branches.resize(branches);
+  for (auto& b : t.future.branches) {
+    b.base = Matrix::Uniform(rows, 6, rng);
+    b.segments.clear();
+    // Strictly decreasing valid_n prefixes, as the FuturePredictor emits.
+    for (size_t s = 0; s < nseg; ++s) {
+      b.segments.emplace_back(rows - s,
+                              static_cast<float>(0.1 * (s + 1)));
+    }
+  }
+  return t;
+}
+
+void ExpectMatrixEq(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a(r, c), b(r, c)) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+void ExpectTransitionEq(const Transition& a, const Transition& b) {
+  ExpectMatrixEq(a.state, b.state);
+  EXPECT_EQ(a.valid_n, b.valid_n);
+  EXPECT_EQ(a.action_row, b.action_row);
+  EXPECT_EQ(a.reward, b.reward);
+  EXPECT_EQ(a.target, b.target);
+  ASSERT_EQ(a.future.branches.size(), b.future.branches.size());
+  for (size_t k = 0; k < a.future.branches.size(); ++k) {
+    const auto& ba = a.future.branches[k];
+    const auto& bb = b.future.branches[k];
+    ExpectMatrixEq(ba.base, bb.base);
+    ASSERT_EQ(ba.segments.size(), bb.segments.size());
+    for (size_t s = 0; s < ba.segments.size(); ++s) {
+      // Segment boundaries (valid_n prefixes) and probabilities must both
+      // survive the arena round-trip exactly.
+      EXPECT_EQ(ba.segments[s].first, bb.segments[s].first);
+      EXPECT_EQ(ba.segments[s].second, bb.segments[s].second);
+    }
+  }
+}
+
+TEST(PackedTransitionStoreTest, RoundTripsAllFields) {
+  Rng rng(21);
+  PackedTransitionStore store(8);
+  std::vector<Transition> boxed;
+  // Varied shapes: no future, single-branch multi-segment, multi-branch.
+  boxed.push_back(MakeTransition(&rng, 3, 0, 0));
+  boxed.push_back(MakeTransition(&rng, 5, 1, 4));
+  boxed.push_back(MakeTransition(&rng, 2, 3, 2));
+  boxed.push_back(MakeTransition(&rng, 7, 2, 1));
+  for (size_t i = 0; i < boxed.size(); ++i) {
+    store.Put(i, boxed[i]);
+  }
+  for (size_t i = 0; i < boxed.size(); ++i) {
+    ASSERT_TRUE(store.used(i));
+    EXPECT_EQ(store.reward(i), boxed[i].reward);
+    EXPECT_EQ(store.target(i), boxed[i].target);
+    Transition out;
+    store.DecodeInto(i, &out);
+    ExpectTransitionEq(out, boxed[i]);
+  }
+  EXPECT_FALSE(store.used(boxed.size()));
+}
+
+TEST(PackedTransitionStoreTest, DecodeReusesDestinationAcrossShapes) {
+  Rng rng(22);
+  PackedTransitionStore store(2);
+  const Transition big = MakeTransition(&rng, 9, 3, 3);
+  const Transition small = MakeTransition(&rng, 2, 1, 1);
+  store.Put(0, big);
+  store.Put(1, small);
+  Transition out;
+  store.DecodeInto(0, &out);
+  ExpectTransitionEq(out, big);
+  // Shrinking decode into the same destination must not leak stale rows,
+  // branches, or segments from the previous occupant.
+  store.DecodeInto(1, &out);
+  ExpectTransitionEq(out, small);
+  store.DecodeInto(0, &out);
+  ExpectTransitionEq(out, big);
+}
+
+TEST(PackedTransitionStoreTest, SameShapeOverwriteReusesArenaInPlace) {
+  Rng rng(23);
+  PackedTransitionStore store(4);
+  store.Put(0, MakeTransition(&rng, 4, 2, 2));
+  const size_t bytes = store.ApproxBytes();
+  for (int round = 0; round < 10; ++round) {
+    store.Put(0, MakeTransition(&rng, 4, 2, 2));
+  }
+  // Steady-state ring overwrites of a stable shape claim no new arena
+  // space and strand no dead mass.
+  EXPECT_EQ(store.ApproxBytes(), bytes);
+  EXPECT_EQ(store.DeadBytes(), 0u);
+  EXPECT_EQ(store.compactions(), 0u);
+}
+
+TEST(PackedTransitionStoreTest, GrowingPayloadsCompactOnceDeadDominates) {
+  Rng rng(24);
+  PackedTransitionStore store(2);
+  Transition last;
+  for (size_t rows = 2; rows < 20; ++rows) {
+    last = MakeTransition(&rng, rows, 2, 2);
+    store.Put(0, last);  // never fits in the previous range: dead mass grows
+  }
+  EXPECT_GE(store.compactions(), 1u);
+  // Post-compaction the arenas hold live payload (plus bounded slack).
+  EXPECT_LE(store.DeadBytes(), store.ApproxBytes() / 2);
+  Transition out;
+  store.DecodeInto(0, &out);
+  ExpectTransitionEq(out, last);
+}
+
+TEST(PackedTransitionStoreTest, PackedFootprintBeatsBoxedAccounting) {
+  Rng rng(25);
+  PackedTransitionStore store(64);
+  size_t boxed_bytes = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    Transition t = MakeTransition(&rng, 6, 2, 3);
+    boxed_bytes += t.ApproxBytes();
+    store.Put(i, t);
+  }
+  // The memory-accounting claim of the packed layout: the arena footprint
+  // (headers included) undercuts the boxed per-transition heap graph.
+  EXPECT_LT(store.ApproxBytes(), boxed_bytes);
+  EXPECT_GT(store.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace crowdrl
