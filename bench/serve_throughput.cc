@@ -11,14 +11,25 @@
 // --budget_us >= 0 the rank queues shed over-budget requests instead of
 // blocking (admission control) — shed requests are answered with the
 // fallback ranking and counted, never silently dropped.
+// With --transport=uds the same sweep runs across a process-shaped
+// boundary: the service is wrapped in a LearnerDaemon on a loopback
+// UNIX-domain socket and every actor drives it through an ActorClient —
+// one wire round trip per rank and per feedback — so the inproc/uds pair
+// A/Bs the serving stack against the full transport (frame encode/decode,
+// socket syscalls, per-connection handler threads).
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/check.h"
 #include "common/json.h"
 #include "common/stopwatch.h"
+#include "net/actor_client.h"
+#include "net/learner_daemon.h"
 #include "serve/sharded_service.h"
 #include "serve/workload.h"
 
@@ -96,13 +107,22 @@ FrameworkConfig ServingFrameworkConfig(const PointConfig& point,
 }
 
 SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
-                    int actors, int shards, int64_t arrivals, uint64_t seed) {
+                    int actors, int shards, int64_t arrivals, uint64_t seed,
+                    bool over_uds) {
   auto service_owner = ShardedArrangementService::Create(
       ServingFrameworkConfig(point, seed), &workload,
       workload.worker_feature_dim(), workload.task_feature_dim(), shards,
       point.service);
   ShardedArrangementService& service = *service_owner;
   service.Start();
+
+  std::unique_ptr<net::LearnerDaemon> daemon;
+  if (over_uds) {
+    daemon = std::make_unique<net::LearnerDaemon>(
+        &service, "/tmp/crowdrl_bench_serve_" +
+                      std::to_string(::getpid()) + ".sock");
+    CROWDRL_CHECK(daemon->Start().ok());
+  }
 
   std::atomic<int64_t> arrival_counter{0};
   std::atomic<int64_t> next_ticket{0};
@@ -111,6 +131,31 @@ SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
   for (int a = 0; a < actors; ++a) {
     threads.emplace_back([&, a] {
       Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(a + 1)));
+      if (over_uds) {
+        // The wire path: every actor is its own client connection driving
+        // one rank + one feedback round trip per arrival; the daemon holds
+        // the decision context, exactly like a remote thin actor.
+        Result<std::unique_ptr<net::ActorClient>> client =
+            net::ActorClient::Connect(daemon->socket_path());
+        CROWDRL_CHECK(client.ok());
+        while (true) {
+          const int64_t i = next_ticket.fetch_add(1);
+          if (i >= arrivals) break;
+          const Observation obs =
+              workload.MakeObservation(arrival_counter.fetch_add(1), &rng);
+          net::DecodedRankResponse rank;
+          CROWDRL_CHECK(
+              client.value()->Rank(obs, /*record_arrival=*/true, &rank).ok());
+          net::FeedbackResponseHead fb;
+          CROWDRL_CHECK(client.value()
+                            ->Feedback(obs.arrival_index, obs.worker,
+                                       workload.SimulateFeedback(
+                                           obs, rank.ranking, &rng),
+                                       &fb)
+                            .ok());
+        }
+        return;
+      }
       auto session = service.NewSession();
       while (true) {
         const int64_t i = next_ticket.fetch_add(1);
@@ -127,6 +172,7 @@ SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
     });
   }
   for (auto& t : threads) t.join();
+  if (daemon != nullptr) daemon->Stop();
   service.Stop();  // drains every shard's learner
 
   SweepPoint result;
@@ -135,6 +181,11 @@ SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
   result.arrivals = arrivals;
   result.wall_s = wall.ElapsedSeconds();
   result.stats = service.stats();
+  if (daemon != nullptr) {
+    // The daemon's view of the aggregate adds the live transport counters
+    // (per-shard rows keep their zeros: shards never touch a socket).
+    result.stats.aggregate = daemon->Stats();
+  }
   return result;
 }
 
@@ -172,6 +223,14 @@ void EmitStats(JsonWriter* json, const ServiceStats& s, double wall_s) {
   json->KV("snapshot_version", s.snapshot_version);
   json->KV("snapshot_nets_copied", s.snapshot_nets_copied);
   json->KV("snapshot_nets_shared", s.snapshot_nets_shared);
+  json->KV("transport_connections", s.transport_connections);
+  json->KV("transport_connections_dropped", s.transport_connections_dropped);
+  json->KV("transport_frames_in", s.transport_frames_in);
+  json->KV("transport_frames_out", s.transport_frames_out);
+  json->KV("transport_bytes_in", s.transport_bytes_in);
+  json->KV("transport_bytes_out", s.transport_bytes_out);
+  json->KV("transport_snapshot_fetches", s.transport_snapshot_fetches);
+  json->KV("transport_remote_transitions", s.transport_remote_transitions);
 }
 
 int Main(int argc, char** argv) {
@@ -186,6 +245,10 @@ int Main(int argc, char** argv) {
       flags.GetInt("seed", 17, "master seed"));
   const std::string out_dir =
       flags.GetString("out", "results", "artifact output directory");
+  const std::string transport = flags.GetString(
+      "transport", "inproc",
+      "inproc = actors call the service directly; uds = actors are "
+      "ActorClients over a loopback UNIX-domain LearnerDaemon");
 
   ServeWorkloadConfig wl_cfg;
   wl_cfg.num_workers = static_cast<int>(
@@ -211,14 +274,20 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--shards must name at least one positive count\n");
     return 2;
   }
+  if (transport != "inproc" && transport != "uds") {
+    std::fprintf(stderr, "--transport must be inproc or uds\n");
+    return 2;
+  }
+  const bool over_uds = transport == "uds";
 
   std::printf(
       "serve_throughput: arrivals=%lld actors={%s} shards={%s} pool=%d "
-      "seed=%llu budget_us=%lld\n",
+      "seed=%llu budget_us=%lld transport=%s\n",
       static_cast<long long>(arrivals), actors_csv.c_str(),
       shards_csv.c_str(), wl_cfg.pool_size,
       static_cast<unsigned long long>(seed),
-      static_cast<long long>(point.service.enqueue_budget_us));
+      static_cast<long long>(point.service.enqueue_budget_us),
+      transport.c_str());
   const ServeWorkload workload(wl_cfg);
 
   bench::BenchSetup setup;
@@ -228,9 +297,11 @@ int Main(int argc, char** argv) {
            "events_learned"});
   JsonWriter json;
   json.BeginObject();
-  // v3: per-stat replay_transitions / replay_bytes counters, plus the
-  // replay-pipeline mode knobs echoed at top level.
-  json.KV("schema", "crowdrl.serve_throughput.v3");
+  // v4: transport mode echoed at top level + per-stat transport_* counters
+  // (connections, frames, wire bytes, snapshot fetches, remote
+  // transitions; all zero for inproc points).
+  json.KV("schema", "crowdrl.serve_throughput.v4");
+  json.KV("transport", transport);
   json.KV("arrivals_per_point", arrivals);
   json.KV("pool_size", static_cast<int64_t>(wl_cfg.pool_size));
   json.KV("seed", seed);
@@ -246,7 +317,7 @@ int Main(int argc, char** argv) {
       std::printf("... actors=%d shards=%d\n", actors, shards);
       std::fflush(stdout);
       const SweepPoint p =
-          RunPoint(point, workload, actors, shards, arrivals, seed);
+          RunPoint(point, workload, actors, shards, arrivals, seed, over_uds);
       // Aggregate QPS counts every answered arrival (served + degraded);
       // per-shard and aggregate qps_served count batcher-served ranks only.
       const double qps =

@@ -1,0 +1,157 @@
+// crowdrl_actor — one actor process driving a crowdrl_learnerd daemon
+// over its UNIX-domain socket.
+//
+// Two modes, matching the wire protocol's feedback modes:
+//
+//   --mode=server  thin actor: forward each observation for server-side
+//                  scoring (Rank), then report the outcome (Feedback);
+//                  the daemon keeps the decision context and mints
+//                  transitions — behaviorally identical to an in-process
+//                  actor session.
+//   --mode=local   scoring actor: pull a versioned policy-snapshot
+//                  replica, score and mint transitions locally, ship only
+//                  the transition blocks upstream — the shape that
+//                  decouples fleet size from the daemon's thread budget.
+//
+// --shutdown instead sends the cooperative shutdown message and exits.
+//
+//   ./build/examples/crowdrl_actor --socket=/tmp/crowdrl.sock --events=500
+//   ./build/examples/crowdrl_actor --mode=local --actor_id=3
+//   ./build/examples/crowdrl_actor --shutdown
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "net/actor_client.h"
+#include "serve/workload.h"
+
+using namespace crowdrl;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string socket_path = flags.GetString(
+      "socket", "/tmp/crowdrl_learnerd.sock", "daemon's UNIX-domain socket");
+  const std::string mode = flags.GetString(
+      "mode", "server", "server = thin actor (Rank+Feedback); local = "
+      "scoring actor (FetchSnapshot+SubmitTransitions)");
+  const bool shutdown =
+      flags.GetBool("shutdown", false, "send a shutdown request and exit");
+  const int64_t events =
+      flags.GetInt("events", 500, "arrival events to drive");
+  const int64_t actor_id = flags.GetInt(
+      "actor_id", 0, "distinguishes this process's RNG stream and arrivals");
+  const int64_t fetch_every = flags.GetInt(
+      "fetch_every", 16, "snapshot refetch cadence in events (--mode=local)");
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 7, "master seed"));
+  // Must match the daemon's workload flags: observations are minted here.
+  ServeWorkloadConfig workload_cfg;
+  workload_cfg.num_workers = static_cast<int>(
+      flags.GetInt("workers", 64, "worker population of the workload"));
+  workload_cfg.num_tasks = static_cast<int>(
+      flags.GetInt("tasks", 64, "task population of the workload"));
+  workload_cfg.pool_size = static_cast<int>(
+      flags.GetInt("pool", 12, "available tasks per arrival (|T_i|)"));
+  workload_cfg.seed = seed ^ 0x5EEDULL;
+  if (flags.HelpRequested()) {
+    flags.PrintHelp();
+    return 0;
+  }
+
+  Result<std::unique_ptr<net::ActorClient>> connected =
+      net::ActorClient::Connect(socket_path);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "crowdrl_actor: %s\n",
+                 connected.status().message().c_str());
+    return 2;
+  }
+  net::ActorClient& client = *connected.value();
+
+  if (shutdown) {
+    const Status st = client.RequestShutdown();
+    if (!st.ok()) {
+      std::fprintf(stderr, "crowdrl_actor: %s\n", st.message().c_str());
+      return 2;
+    }
+    std::printf("crowdrl_actor: shutdown requested\n");
+    return 0;
+  }
+
+  const ServeWorkload workload(workload_cfg);
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL *
+                  static_cast<uint64_t>(actor_id + 1)));
+  const bool local = mode == "local";
+
+  // The scoring actor's local replica of the framework: feature pipeline +
+  // ranking rules, scored against the daemon's published parameters.
+  std::unique_ptr<TaskArrangementFramework> framework;
+  if (local) {
+    FrameworkConfig fw_cfg = FrameworkConfig::Defaults();
+    fw_cfg.seed = seed;
+    framework = std::make_unique<TaskArrangementFramework>(
+        fw_cfg, &workload, workload.worker_feature_dim(),
+        workload.task_feature_dim());
+    const Status st = client.FetchSnapshot(0);
+    if (!st.ok()) {
+      std::fprintf(stderr, "crowdrl_actor: %s\n", st.message().c_str());
+      return 2;
+    }
+  }
+
+  int64_t accepted = 0;
+  int64_t completions = 0;
+  for (int64_t i = 0; i < events; ++i) {
+    const int64_t arrival = actor_id * events + i;
+    const Observation obs = workload.MakeObservation(arrival, &rng);
+    Status st;
+    if (local) {
+      if (i > 0 && fetch_every > 0 && i % fetch_every == 0) {
+        st = client.FetchSnapshot(0);
+      }
+      if (st.ok()) {
+        framework->OnArrival(obs);
+        const ScoringView view = client.replica()->View();
+        const DecisionContext ctx = framework->BuildDecision(obs);
+        const std::vector<int> ranking = framework->RankDecision(
+            obs, ctx, framework->ScoreDecision(ctx, view));
+        const Feedback fb = workload.SimulateFeedback(obs, ranking, &rng);
+        if (fb.completed_pos >= 0) ++completions;
+        const TransitionBlocks blocks =
+            framework->MakeTransitions(obs, ctx, ranking, fb, view);
+        if (blocks.empty()) continue;
+        net::FeedbackResponseHead resp;
+        st = client.SubmitTransitions(arrival, obs.worker, fb, blocks, &resp);
+        if (st.ok() && resp.accepted) ++accepted;
+      }
+    } else {
+      net::DecodedRankResponse rank;
+      st = client.Rank(obs, /*record_arrival=*/true, &rank);
+      if (st.ok()) {
+        const Feedback fb =
+            workload.SimulateFeedback(obs, rank.ranking, &rng);
+        if (fb.completed_pos >= 0) ++completions;
+        net::FeedbackResponseHead resp;
+        st = client.Feedback(arrival, obs.worker, fb, &resp);
+        if (st.ok() && resp.accepted) ++accepted;
+      }
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "crowdrl_actor: event %lld: %s\n",
+                   static_cast<long long>(i), st.message().c_str());
+      return 2;
+    }
+  }
+
+  std::printf(
+      "crowdrl_actor[%lld]: mode=%s events=%lld accepted=%lld "
+      "completions=%lld frames=%lld/%lld bytes=%lld/%lld replica_v%llu\n",
+      static_cast<long long>(actor_id), mode.c_str(),
+      static_cast<long long>(events), static_cast<long long>(accepted),
+      static_cast<long long>(completions),
+      static_cast<long long>(client.frames_sent()),
+      static_cast<long long>(client.frames_received()),
+      static_cast<long long>(client.bytes_sent()),
+      static_cast<long long>(client.bytes_received()),
+      static_cast<unsigned long long>(client.replica_version()));
+  return accepted > 0 ? 0 : 1;
+}

@@ -20,6 +20,13 @@
 #                          add_test entry carries a ctest LABEL, so
 #                          `ctest -L <layer>` keeps meaning "the layer's
 #                          whole suite".
+#   5. Socket hygiene    — raw POSIX socket/file-descriptor I/O calls
+#                          (socket/accept/recv/send/read/write/...) are
+#                          banned outside src/net/: everything goes through
+#                          the EINTR-safe wrappers in net/socket.h. And the
+#                          net layer itself must stay SIGPIPE-safe: every
+#                          send uses MSG_NOSIGNAL and the daemon ignores
+#                          SIGPIPE before serving.
 #
 # Plus, when a clang++ is on PATH: the thread-safety smoke pair
 # (tests/static/) — the ok file must pass -Wthread-safety -Werror, the
@@ -203,6 +210,67 @@ for cml in sorted(glob.glob('tests/**/CMakeLists.txt', recursive=True)):
                 f'{cml}: add_test({name}) has no LABELS property — '
                 f'`ctest -L <layer>` will not include it')
 print(f'check_static[test-registration]: {sources} test sources registered')
+
+# ---- 5. socket hygiene: raw fd I/O only inside src/net/ ----
+# Bare-call sites of the POSIX I/O surface. The lookbehind rejects member
+# calls (stream.read(...)), qualified names (std::..., base::read) and
+# identifier tails (std::thread( ends in "read("), so only the global
+# C functions trip the gate.
+RAW_IO = re.compile(
+    r'(?<![\w:.>])'
+    r'(socket|socketpair|accept4?|recv(?:from|msg)?|send(?:to|msg)?'
+    r'|read|write|pread|pwrite|readv|writev|connect|bind|listen|shutdown'
+    r'|poll|select)\s*\(')
+SOCKET_HEADERS = re.compile(
+    r'#\s*include\s*<(sys/socket\.h|sys/un\.h|netinet/[^>]+|arpa/[^>]+'
+    r'|poll\.h|sys/select\.h)>')
+
+io_checked = 0
+for path in sorted(glob.glob('src/**/*.h', recursive=True) +
+                   glob.glob('src/**/*.cc', recursive=True) +
+                   glob.glob('bench/**/*.h', recursive=True) +
+                   glob.glob('bench/**/*.cc', recursive=True) +
+                   glob.glob('examples/**/*.cpp', recursive=True)):
+    if path.replace(os.sep, '/').startswith('src/net/'):
+        continue
+    io_checked += 1
+    text = open(path).read()
+    stripped = strip_comments(text)
+    for m in RAW_IO.finditer(stripped):
+        failures.append(
+            f'{path}:{line_of(text, m.start())}: raw `{m.group(1)}(` — '
+            f'fd/socket I/O outside src/net/ must go through the '
+            f'EINTR-safe wrappers in net/socket.h')
+    for m in SOCKET_HEADERS.finditer(stripped):
+        failures.append(
+            f'{path}:{line_of(text, m.start())}: socket/poll header '
+            f'include outside src/net/ — use net/socket.h')
+print(f'check_static[socket-hygiene]: {io_checked} files clean of raw I/O')
+
+# SIGPIPE safety inside the net layer: a dying client must surface as a
+# Status, never a signal. Every send flavor passes MSG_NOSIGNAL, and the
+# daemon sets the disposition before serving (belt for third-party fds).
+socket_cc = strip_comments(open('src/net/socket.cc').read())
+for m in re.finditer(r'(?<![\w:.>])(send(?:to|msg)?)\s*\(([^;]*?);',
+                     socket_cc, re.S):
+    if 'MSG_NOSIGNAL' not in m.group(2):
+        failures.append(
+            f'src/net/socket.cc:{line_of(socket_cc, m.start())}: '
+            f'{m.group(1)}() without MSG_NOSIGNAL — a dead peer would '
+            f'raise SIGPIPE')
+if not re.search(r'void\s+IgnoreSigpipe\s*\(', socket_cc):
+    failures.append('src/net/socket.cc: IgnoreSigpipe() definition missing')
+daemon_cc = strip_comments(open('src/net/learner_daemon.cc').read())
+start_body = re.search(r'Status\s+LearnerDaemon::Start\s*\([^)]*\)\s*\{',
+                       daemon_cc)
+if not start_body or 'IgnoreSigpipe()' not in daemon_cc[start_body.end():
+                                                        start_body.end()
+                                                        + 2000]:
+    failures.append(
+        'src/net/learner_daemon.cc: LearnerDaemon::Start() must call '
+        'IgnoreSigpipe() before serving')
+print('check_static[sigpipe]: net send paths MSG_NOSIGNAL, daemon ignores '
+      'SIGPIPE')
 
 if failures:
     print()

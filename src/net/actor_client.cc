@@ -1,0 +1,103 @@
+#include "net/actor_client.h"
+
+#include <utility>
+
+namespace crowdrl {
+namespace net {
+
+Result<std::unique_ptr<ActorClient>> ActorClient::Connect(
+    const std::string& path) {
+  CROWDRL_ASSIGN_OR_RETURN(FdHandle fd, ConnectUnix(path));
+  return std::unique_ptr<ActorClient>(new ActorClient(std::move(fd)));
+}
+
+Status ActorClient::Call(MsgType type, const std::string& body,
+                         MsgType expect, std::string* resp_body) {
+  const uint32_t seq = next_seq_++;
+  CROWDRL_RETURN_NOT_OK(SendFrame(fd_.fd(), type, seq, body));
+  ++frames_sent_;
+  bytes_sent_ += static_cast<int64_t>(sizeof(FrameHeader) + body.size());
+  FrameHeader header;
+  CROWDRL_RETURN_NOT_OK(RecvFrame(fd_.fd(), &header, resp_body));
+  ++frames_received_;
+  bytes_received_ +=
+      static_cast<int64_t>(sizeof(FrameHeader) + resp_body->size());
+  if (header.seq != seq) {
+    return Status::Internal("response out of sequence");
+  }
+  const MsgType got = static_cast<MsgType>(header.type);
+  if (got == MsgType::kError) {
+    return ParseError(resp_body->data(), resp_body->size());
+  }
+  if (got != expect) {
+    return Status::Internal("unexpected response type " +
+                            std::to_string(header.type));
+  }
+  return Status::OK();
+}
+
+Status ActorClient::Rank(const Observation& obs, bool record_arrival,
+                         DecodedRankResponse* out) {
+  std::string body;
+  AppendRankRequest(obs, record_arrival, &body);
+  std::string resp;
+  CROWDRL_RETURN_NOT_OK(
+      Call(MsgType::kRankRequest, body, MsgType::kRankResponse, &resp));
+  return ParseRankResponse(resp.data(), resp.size(), out);
+}
+
+Status ActorClient::Feedback(int64_t arrival_index, WorkerId worker,
+                             const crowdrl::Feedback& feedback,
+                             FeedbackResponseHead* out) {
+  std::string body;
+  AppendFeedback(arrival_index, worker, feedback, &body);
+  std::string resp;
+  CROWDRL_RETURN_NOT_OK(Call(MsgType::kFeedbackRequest, body,
+                             MsgType::kFeedbackResponse, &resp));
+  return ParseFeedbackResponse(resp.data(), resp.size(), out);
+}
+
+Status ActorClient::SubmitTransitions(int64_t arrival_index, WorkerId worker,
+                                      const crowdrl::Feedback& feedback,
+                                      const TransitionBlocks& blocks,
+                                      FeedbackResponseHead* out) {
+  std::string body;
+  AppendFeedbackTransitions(arrival_index, worker, feedback, blocks, &body);
+  std::string resp;
+  CROWDRL_RETURN_NOT_OK(Call(MsgType::kFeedbackRequest, body,
+                             MsgType::kFeedbackResponse, &resp));
+  return ParseFeedbackResponse(resp.data(), resp.size(), out);
+}
+
+Status ActorClient::FetchSnapshot(uint32_t shard, bool* changed) {
+  std::string body;
+  AppendSnapshotRequest(shard, replica_version_, &body);
+  std::string resp;
+  CROWDRL_RETURN_NOT_OK(Call(MsgType::kSnapshotRequest, body,
+                             MsgType::kSnapshotResponse, &resp));
+  DecodedSnapshot decoded;
+  CROWDRL_RETURN_NOT_OK(
+      ParseSnapshotResponse(resp.data(), resp.size(), &decoded));
+  if (decoded.changed) {
+    replica_ = decoded.snapshot;
+    replica_version_ = decoded.version;
+  }
+  if (changed != nullptr) *changed = decoded.changed;
+  return Status::OK();
+}
+
+Status ActorClient::FetchStats(ServiceStats* out) {
+  std::string resp;
+  CROWDRL_RETURN_NOT_OK(Call(MsgType::kStatsRequest, std::string(),
+                             MsgType::kStatsResponse, &resp));
+  return ParseStats(resp.data(), resp.size(), out);
+}
+
+Status ActorClient::RequestShutdown() {
+  std::string resp;
+  return Call(MsgType::kShutdownRequest, std::string(),
+              MsgType::kShutdownResponse, &resp);
+}
+
+}  // namespace net
+}  // namespace crowdrl

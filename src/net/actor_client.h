@@ -1,0 +1,109 @@
+#ifndef CROWDRL_NET_ACTOR_CLIENT_H_
+#define CROWDRL_NET_ACTOR_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace crowdrl {
+namespace net {
+
+/// \brief One actor's connection to a learner daemon — the client half of
+/// the serving transport.
+///
+/// Strictly request/response over a single UNIX-domain stream: every call
+/// sends one frame and blocks for the matching response (sequence numbers
+/// are checked, kError frames surface as the carried Status). Not
+/// thread-safe — one ActorClient per actor thread, exactly like an
+/// in-process service Session.
+///
+/// Two operating modes, matching the wire protocol's feedback modes:
+///
+///  * **Thin actor** (Rank + Feedback): the daemon scores, keeps the
+///    decision context and mints transitions — the actor only forwards
+///    observations and outcomes. This path is behaviorally identical to
+///    an in-process Session (the equivalence test drives it).
+///  * **Scoring actor** (FetchSnapshot + SubmitTransitions): the actor
+///    pulls a versioned `PolicySnapshot` replica (version-gated: an
+///    up-to-date replica costs one header), scores and mints transitions
+///    locally against it, and ships only the transition blocks upstream —
+///    the distributed-actors shape the ROADMAP names, where fleet size is
+///    decoupled from the daemon's thread budget.
+class ActorClient {
+ public:
+  /// Connects to the daemon at `path`.
+  static Result<std::unique_ptr<ActorClient>> Connect(
+      const std::string& path);
+
+  ActorClient(const ActorClient&) = delete;
+  ActorClient& operator=(const ActorClient&) = delete;
+
+  /// Ranks `obs` on the daemon. `record_arrival` additionally feeds the
+  /// arrival statistic (the wire analogue of service->RecordArrival +
+  /// session->Rank).
+  Status Rank(const Observation& obs, bool record_arrival,
+              DecodedRankResponse* out);
+
+  /// Reports the outcome of a previously ranked arrival (server-minted
+  /// transitions; the daemon holds the decision context).
+  Status Feedback(int64_t arrival_index, WorkerId worker,
+                  const crowdrl::Feedback& feedback,
+                  FeedbackResponseHead* out);
+
+  /// Ships locally minted transition blocks for `worker`'s owner shard
+  /// (scoring-actor mode).
+  Status SubmitTransitions(int64_t arrival_index, WorkerId worker,
+                           const crowdrl::Feedback& feedback,
+                           const TransitionBlocks& blocks,
+                           FeedbackResponseHead* out);
+
+  /// Refreshes the local snapshot replica of `shard`. Version-gated: when
+  /// the daemon's published version equals the cached one the response is
+  /// headers-only and `replica()` is left untouched. `*changed` (optional)
+  /// reports whether a new replica was installed.
+  Status FetchSnapshot(uint32_t shard, bool* changed = nullptr);
+
+  /// The last fetched replica (null before the first changed fetch).
+  std::shared_ptr<const PolicySnapshot> replica() const { return replica_; }
+  uint64_t replica_version() const { return replica_version_; }
+
+  /// Daemon-side aggregate stats including transport counters.
+  Status FetchStats(ServiceStats* out);
+
+  /// Asks the daemon process to shut down (cooperative; the daemon's
+  /// supervisor decides when to actually stop serving).
+  Status RequestShutdown();
+
+  // Client-side transport counters (this connection only).
+  int64_t frames_sent() const { return frames_sent_; }
+  int64_t frames_received() const { return frames_received_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+  int64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  explicit ActorClient(FdHandle fd) : fd_(std::move(fd)) {}
+
+  /// One round trip: send (type, body), receive, demand `expect` (kError
+  /// is decoded into its carried Status).
+  Status Call(MsgType type, const std::string& body, MsgType expect,
+              std::string* resp_body);
+
+  FdHandle fd_;
+  uint32_t next_seq_ = 1;
+  uint64_t replica_version_ = 0;
+  std::shared_ptr<const PolicySnapshot> replica_;
+  int64_t frames_sent_ = 0;
+  int64_t frames_received_ = 0;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+};
+
+}  // namespace net
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NET_ACTOR_CLIENT_H_

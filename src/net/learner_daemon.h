@@ -1,0 +1,104 @@
+#ifndef CROWDRL_NET_LEARNER_DAEMON_H_
+#define CROWDRL_NET_LEARNER_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "net/server.h"
+#include "serve/sharded_service.h"
+
+namespace crowdrl {
+namespace net {
+
+/// \brief The learner side of the multi-process serving transport: a
+/// started `ShardedArrangementService` exposed over a UNIX-domain socket.
+///
+/// Each client connection gets its own handler thread, service `Session`
+/// and bounded pending-decision map, and is served request-by-request:
+///
+///  * **Rank** — decodes the observation, optionally feeds the arrival
+///    statistic, ranks through the shard micro-batcher and parks the
+///    decoded observation + ticket + ranking in the pending map keyed by
+///    arrival index (evict-oldest at the framework's
+///    kMaxPendingDecisions, mirroring the serial pending map);
+///  * **Feedback** (server-minted) — looks the arrival up in the pending
+///    map and runs the exact same `Session::Feedback` path an in-process
+///    actor would, which is what makes the loopback trajectory bit-match
+///    the in-process service;
+///  * **Feedback** (client transitions) — a remote actor that scored
+///    locally against its snapshot replica ships only minted transition
+///    blocks; they are routed to the worker's owner shard via
+///    `SubmitTransitions`;
+///  * **SnapshotFetch** — serves the requested shard's current
+///    `PolicySnapshot`, version-gated so an up-to-date replica costs a
+///    header, not a parameter copy;
+///  * **Stats / Shutdown** — aggregate ServiceStats (with live transport
+///    counters) and a cooperative stop signal for process supervisors.
+///
+/// Malformed frames are answered with a typed kError frame when possible;
+/// connections whose header cannot be trusted are dropped. The daemon
+/// ignores SIGPIPE and sends with MSG_NOSIGNAL throughout, so dying
+/// clients never kill the learner.
+class LearnerDaemon {
+ public:
+  /// `service` must be started and outlive the daemon.
+  LearnerDaemon(ShardedArrangementService* service, std::string socket_path);
+  ~LearnerDaemon();
+
+  LearnerDaemon(const LearnerDaemon&) = delete;
+  LearnerDaemon& operator=(const LearnerDaemon&) = delete;
+
+  /// Ignores SIGPIPE and starts listening.
+  Status Start();
+  /// Stops accepting, disconnects every client and joins. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// True once any client sent a kShutdownRequest.
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+  /// Blocks until shutdown is requested or `timeout_ms` elapses
+  /// (negative = wait forever). Returns shutdown_requested().
+  bool WaitForShutdown(int timeout_ms = -1);
+
+  /// Aggregate service stats with the daemon's live transport counters
+  /// filled in — the payload of the Stats RPC.
+  ServiceStats Stats() const;
+
+ private:
+  struct PendingDecision;
+
+  void ServeConnection(int fd, uint64_t conn_id);
+  /// Dispatches one request; fills (*resp_type, *resp_body) on success.
+  Status Dispatch(MsgType type, const std::string& body,
+                  ShardedArrangementService::Session* session,
+                  std::map<int64_t, PendingDecision>* pending,
+                  int64_t* events_submitted, MsgType* resp_type,
+                  std::string* resp_body);
+
+  ShardedArrangementService* const service_;
+  const std::string socket_path_;
+  std::unique_ptr<SocketServer> server_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  mutable Mutex shutdown_mu_;
+  CondVar shutdown_cv_;
+
+  // Transport counters (lock-free; folded into Stats()).
+  std::atomic<int64_t> frames_in_{0};
+  std::atomic<int64_t> frames_out_{0};
+  std::atomic<int64_t> bytes_in_{0};
+  std::atomic<int64_t> bytes_out_{0};
+  std::atomic<int64_t> snapshot_fetches_{0};
+  std::atomic<int64_t> remote_transitions_{0};
+};
+
+}  // namespace net
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NET_LEARNER_DAEMON_H_

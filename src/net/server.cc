@@ -1,0 +1,122 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace crowdrl {
+namespace net {
+
+namespace {
+/// Accept-poll granularity: the latency bound on observing Stop().
+constexpr int kAcceptPollMs = 50;
+}  // namespace
+
+SocketServer::SocketServer(std::string path, Handler handler)
+    : path_(std::move(path)), handler_(std::move(handler)) {
+  CROWDRL_CHECK(handler_ != nullptr);
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  MutexLock lifecycle(lifecycle_mu_);
+  MutexLock lk(mu_);
+  if (started_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  CROWDRL_ASSIGN_OR_RETURN(listener_, ListenUnix(path_));
+  accept_thread_ = std::thread(&SocketServer::AcceptLoop, this);
+  started_.store(true);
+  return Status::OK();
+}
+
+void SocketServer::Stop() {
+  MutexLock lifecycle(lifecycle_mu_);
+  if (!started_.load()) return;
+  // Phase 1: stop minting connections. The accept thread observes the flag
+  // within one poll interval. Its join must NOT hold mu_: the accept
+  // thread takes mu_ to register a connection accepted concurrently with
+  // Stop, and would deadlock against a joiner holding it. The listener fd
+  // is closed only after the join, so the poll never touches a recycled
+  // descriptor.
+  stopping_.store(true);
+  std::thread accept_thread;
+  {
+    MutexLock lk(mu_);
+    accept_thread = std::move(accept_thread_);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  // Phase 2: the accept thread is gone, so the connection set is final.
+  // Disconnect live handlers: shutdown(2) (not close) unblocks a handler
+  // parked in recv without freeing the fd number out from under it; the
+  // handle is closed after the handler thread is joined. Handler threads
+  // never take mu_, so joining them under it cannot deadlock.
+  MutexLock lk(mu_);
+  listener_.Reset();
+  ::unlink(path_.c_str());
+  for (auto& conn : connections_) {
+    if (!conn->done.load()) {
+      dropped_.fetch_add(1);
+      ::shutdown(conn->fd.fd(), SHUT_RDWR);
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  connections_.clear();
+  started_.store(false);
+}
+
+void SocketServer::ReapFinishedLocked() {
+  // NOT remove_if: its tail range holds moved-from (null) pointers, so the
+  // done connections to join would already be gone. Partition by hand,
+  // joining each finished handler before its Connection (and fd) dies.
+  std::vector<std::unique_ptr<Connection>> live;
+  live.reserve(connections_.size());
+  for (std::unique_ptr<Connection>& conn : connections_) {
+    if (conn->done.load()) {
+      if (conn->thread.joinable()) conn->thread.join();
+    } else {
+      live.push_back(std::move(conn));
+    }
+  }
+  connections_.swap(live);
+}
+
+void SocketServer::AcceptLoop() {
+  int listen_fd = -1;
+  {
+    // The handle itself stays guarded; the raw fd is stable until Stop()
+    // joins this thread, which is the only closer.
+    MutexLock lk(mu_);
+    listen_fd = listener_.fd();
+  }
+  while (!stopping_.load()) {
+    Result<FdHandle> accepted = AcceptUnix(listen_fd, kAcceptPollMs);
+    if (!accepted.ok()) break;  // listener broken: no way to serve more
+    if (!accepted.value().valid()) continue;  // poll timeout
+    const uint64_t conn_id =
+        static_cast<uint64_t>(accepted_.fetch_add(1) + 1);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(accepted).value();
+    Connection* raw = conn.get();
+    const int conn_fd = raw->fd.fd();
+    MutexLock lk(mu_);
+    ReapFinishedLocked();
+    conn->thread = std::thread([this, raw, conn_fd, conn_id] {
+      handler_(conn_fd, conn_id);
+      // The handler is done with this connection, but the fd stays open
+      // until it is reaped (or Stop); shut it down now so the peer sees
+      // EOF at handler exit, not at the next accept.
+      ::shutdown(conn_fd, SHUT_RDWR);
+      raw->done.store(true);
+    });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+}  // namespace net
+}  // namespace crowdrl

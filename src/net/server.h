@@ -1,0 +1,96 @@
+#ifndef CROWDRL_NET_SERVER_H_
+#define CROWDRL_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace crowdrl {
+namespace net {
+
+/// \brief UNIX-domain socket accept loop with one handler thread per
+/// connection — the concurrency skeleton of the learner daemon.
+///
+/// The listener is non-blocking and polled with a short timeout so Stop()
+/// is observed promptly without signals. Each accepted connection runs
+/// `handler(fd)` on its own thread; the server owns the descriptor and the
+/// thread, and Stop() first closes the listener, then `shutdown(2)`s every
+/// live connection — which unblocks any handler parked in recv — and joins.
+/// Handlers that return early are reaped on the accept thread, so a
+/// long-lived daemon does not accumulate dead threads.
+///
+/// Lifecycle is one-shot like the serve shards: Start once, Stop once
+/// (idempotent); construct a fresh server to listen again.
+class SocketServer {
+ public:
+  /// `handler` serves one connection until it returns; it borrows the fd
+  /// (the server closes it) and must tolerate a concurrent shutdown(2)
+  /// surfacing as read/write errors.
+  using Handler = std::function<void(int fd, uint64_t conn_id)>;
+
+  SocketServer(std::string path, Handler handler);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds + listens on the configured path and launches the accept
+  /// thread. An existing socket file at the path is replaced.
+  Status Start();
+
+  /// Stops accepting, disconnects every live connection, joins all
+  /// threads and removes the socket file. Idempotent.
+  void Stop();
+
+  const std::string& path() const { return path_; }
+  bool started() const { return started_.load(); }
+
+  int64_t connections_accepted() const { return accepted_.load(); }
+  /// Connections torn down by Stop() while their handler was still
+  /// running (as opposed to handlers that finished on their own).
+  int64_t connections_dropped() const { return dropped_.load(); }
+
+ private:
+  struct Connection {
+    FdHandle fd;
+    std::thread thread;
+    /// Set by the handler wrapper on exit; the accept loop reaps done
+    /// connections so the live set stays bounded by concurrent clients.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ReapFinishedLocked() CROWDRL_REQUIRES(mu_);
+
+  const std::string path_;
+  const Handler handler_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> dropped_{0};
+
+  /// Serializes Start/Stop against each other. Joins happen under this
+  /// mutex but never under mu_: the accept thread takes mu_ to register a
+  /// freshly accepted connection, so holding mu_ across its join would
+  /// deadlock against a client connecting during Stop.
+  Mutex lifecycle_mu_;
+  Mutex mu_;
+  FdHandle listener_ CROWDRL_GUARDED_BY(mu_);
+  std::thread accept_thread_ CROWDRL_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Connection>> connections_
+      CROWDRL_GUARDED_BY(mu_);
+};
+
+}  // namespace net
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NET_SERVER_H_

@@ -1,0 +1,204 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace crowdrl {
+namespace net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetCloexecNonblock(int fd, bool nonblock) {
+  int flags = fcntl(fd, F_GETFD);
+  if (flags < 0 || fcntl(fd, F_SETFD, flags | FD_CLOEXEC) < 0) {
+    return Errno("fcntl(FD_CLOEXEC)");
+  }
+  if (nonblock) {
+    flags = fcntl(fd, F_GETFL);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      return Errno("fcntl(O_NONBLOCK)");
+    }
+  }
+  return Status::OK();
+}
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("bad unix socket path: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+void FdHandle::Reset(int fd) {
+  if (fd_ >= 0) {
+    // POSIX leaves the fd state unspecified on EINTR from close; on Linux
+    // the descriptor is gone either way, so retrying would race a reuse.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Status ReadAll(int fd, void* data, size_t n, bool* eof_at_start) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::IoError("connection closed mid-read");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a vanished peer is an EPIPE error on this thread, not
+    // a process-wide SIGPIPE.
+    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<bool> WaitReadable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+Result<FdHandle> ConnectUnix(const std::string& path) {
+  sockaddr_un addr;
+  CROWDRL_RETURN_NOT_OK(FillUnixAddr(path, &addr));
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  CROWDRL_RETURN_NOT_OK(SetCloexecNonblock(fd.fd(), /*nonblock=*/false));
+  for (;;) {
+    if (::connect(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect");
+  }
+}
+
+Result<FdHandle> ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  CROWDRL_RETURN_NOT_OK(FillUnixAddr(path, &addr));
+  ::unlink(path.c_str());  // replace a stale socket file from a dead daemon
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  CROWDRL_RETURN_NOT_OK(SetCloexecNonblock(fd.fd(), /*nonblock=*/true));
+  if (::bind(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.fd(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<FdHandle> AcceptUnix(int listen_fd, int timeout_ms) {
+  CROWDRL_ASSIGN_OR_RETURN(const bool readable,
+                           WaitReadable(listen_fd, timeout_ms));
+  if (!readable) return FdHandle();
+  for (;;) {
+    FdHandle conn(::accept(listen_fd, nullptr, nullptr));
+    if (conn.valid()) {
+      CROWDRL_RETURN_NOT_OK(SetCloexecNonblock(conn.fd(),
+                                               /*nonblock=*/false));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    // The listener is non-blocking: a connection that was aborted between
+    // poll and accept surfaces as EAGAIN — a timeout, not an error.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return FdHandle();
+    }
+    return Errno("accept");
+  }
+}
+
+Status MakeSocketPair(FdHandle* a, FdHandle* b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Errno("socketpair");
+  }
+  a->Reset(fds[0]);
+  b->Reset(fds[1]);
+  CROWDRL_RETURN_NOT_OK(SetCloexecNonblock(a->fd(), /*nonblock=*/false));
+  return SetCloexecNonblock(b->fd(), /*nonblock=*/false);
+}
+
+void IgnoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+Status SendFrame(int fd, MsgType type, uint32_t seq,
+                 const std::string& body) {
+  if (body.size() > kMaxFrameBody) {
+    return FaultStatus(WireFault::kOversized, "send-frame");
+  }
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(type);
+  header.seq = seq;
+  header.body_len = static_cast<uint32_t>(body.size());
+  // One buffered write per frame: header and body leave in a single send
+  // whenever the kernel allows, so a reader never blocks between them.
+  std::string frame;
+  frame.reserve(sizeof(header) + body.size());
+  frame.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  frame.append(body);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Status RecvFrame(int fd, FrameHeader* header, std::string* body) {
+  bool eof = false;
+  CROWDRL_RETURN_NOT_OK(ReadAll(fd, header, sizeof(*header), &eof));
+  const WireFault fault = CheckHeader(*header);
+  if (fault != WireFault::kNone) return FaultStatus(fault, "recv-frame");
+  body->resize(header->body_len);
+  if (header->body_len == 0) return Status::OK();
+  return ReadAll(fd, &(*body)[0], body->size());
+}
+
+}  // namespace net
+}  // namespace crowdrl

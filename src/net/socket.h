@@ -1,0 +1,115 @@
+#ifndef CROWDRL_NET_SOCKET_H_
+#define CROWDRL_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+/// \file
+/// \brief EINTR-safe POSIX socket primitives of the serving transport.
+///
+/// Everything that touches raw file descriptors in this repository lives in
+/// this header's implementation (`scripts/check_static.sh` bans raw
+/// `socket(2)` / `read(2)` / `write(2)` / `accept(2)` everywhere else):
+/// an owning `FdHandle`, full-buffer read/write loops that retry EINTR and
+/// report partial transfers as typed errors, UNIX-domain connect/listen
+/// helpers, and frame-level send/receive built on the wire codec.
+///
+/// SIGPIPE discipline: all writes go through `send(2)` with `MSG_NOSIGNAL`,
+/// so a peer that vanished mid-reply surfaces as an EPIPE IoError on the
+/// handler thread instead of killing the process. Daemons additionally call
+/// `IgnoreSigpipe()` at startup as belt-and-braces for any libc path that
+/// writes without the flag.
+
+namespace crowdrl {
+namespace net {
+
+/// Owning RAII wrapper around a file descriptor. Move-only; closes on
+/// destruction. A default-constructed handle is empty (fd() == -1).
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { Reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.Release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Relinquishes ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads exactly `n` bytes, retrying EINTR and short reads.
+/// `*eof_at_start` (optional) is set when the peer closed the connection
+/// cleanly before the first byte — the one EOF that is not an error for a
+/// framed protocol. Any other shortfall is an IoError.
+Status ReadAll(int fd, void* data, size_t n, bool* eof_at_start = nullptr);
+
+/// Writes exactly `n` bytes via MSG_NOSIGNAL send loops (EINTR retried);
+/// a closed peer is an IoError (EPIPE), never a signal.
+Status WriteAll(int fd, const void* data, size_t n);
+
+/// Blocks until `fd` is readable, the timeout elapses (returns false) or
+/// `fd` is in error/hup state (returns true — the next read reports it).
+/// Negative timeout = wait forever. EINTR retried.
+Result<bool> WaitReadable(int fd, int timeout_ms);
+
+/// Connects a UNIX-domain stream socket to `path` (close-on-exec).
+Result<FdHandle> ConnectUnix(const std::string& path);
+
+/// Binds + listens a UNIX-domain stream socket at `path` (close-on-exec,
+/// non-blocking so accept loops can poll a stop flag). An existing socket
+/// file at `path` is replaced.
+Result<FdHandle> ListenUnix(const std::string& path, int backlog = 64);
+
+/// Accepts one connection from a listening socket previously returned by
+/// ListenUnix, waiting at most `timeout_ms` (negative = forever). An empty
+/// handle (valid() == false) means the timeout elapsed with no connection.
+Result<FdHandle> AcceptUnix(int listen_fd, int timeout_ms);
+
+/// A connected AF_UNIX stream pair — the in-process loopback the socket
+/// tests drive so raw socketpair(2) stays inside src/net.
+Status MakeSocketPair(FdHandle* a, FdHandle* b);
+
+/// Sets SIGPIPE to SIG_IGN process-wide (daemon startup).
+void IgnoreSigpipe();
+
+// ---------------------------------------------------------------------------
+// Frame-level I/O: one wire frame = FrameHeader + body.
+// ---------------------------------------------------------------------------
+
+/// Sends one frame. `body.size()` must be within kMaxFrameBody.
+Status SendFrame(int fd, MsgType type, uint32_t seq, const std::string& body);
+
+/// Receives one frame: validates the header (typed WireFault Status on a
+/// bad one) and reads the body. A clean peer close before the header is
+/// NotFound("connection closed") — the loop-exit condition of handlers.
+Status RecvFrame(int fd, FrameHeader* header, std::string* body);
+
+}  // namespace net
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NET_SOCKET_H_

@@ -288,6 +288,18 @@ void ServiceShard::Session::Feedback(const Observation& obs,
 
 bool ServiceShard::Session::Flush() { return buffer_.Flush(); }
 
+bool ServiceShard::SubmitTransitions(TransitionBlocks blocks) {
+  if (blocks.empty()) return true;
+  events_submitted_.fetch_add(1);
+  std::vector<TransitionBlocks> one;
+  one.push_back(std::move(blocks));
+  if (!EnqueueBlocks(std::move(one))) {
+    blocks_dropped_.fetch_add(1);
+    return false;
+  }
+  return true;
+}
+
 // ---- Checkpointing & stats ----
 
 Status ServiceShard::SaveState(const std::string& path) {

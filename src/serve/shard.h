@@ -105,6 +105,19 @@ struct ServiceStats {
   double rank_latency_p95_ms = 0;
   double rank_latency_p99_ms = 0;
   double rank_latency_max_ms = 0;
+
+  // ---- transport (filled by the net-layer daemon; zero for in-process
+  // services — the shard itself never touches a socket) ----
+  int64_t transport_connections = 0;          ///< client connections accepted
+  int64_t transport_connections_dropped = 0;  ///< torn down by daemon Stop
+  int64_t transport_frames_in = 0;
+  int64_t transport_frames_out = 0;
+  int64_t transport_bytes_in = 0;
+  int64_t transport_bytes_out = 0;
+  int64_t transport_snapshot_fetches = 0;
+  /// Transitions shipped upstream by remote actors that scored locally
+  /// against a snapshot replica (FeedbackMode::kClientTransitions).
+  int64_t transport_remote_transitions = 0;
 };
 
 /// \brief One self-contained arrangement-service shard: a continuously-
@@ -210,6 +223,14 @@ class ServiceShard {
   };
 
   std::unique_ptr<Session> NewSession();
+
+  /// Hands one feedback event's worth of externally minted transitions to
+  /// the learner — the upstream half of the remote-actor contract: a
+  /// client that pulled a snapshot replica scores and mints locally, and
+  /// ships only the blocks here (no observation, no decision context).
+  /// Counts as one submitted event; returns false (counting the block as
+  /// dropped) once the shard has stopped. Thread-safe.
+  bool SubmitTransitions(TransitionBlocks blocks);
 
   /// Runs `fn` in the learner execution context (on the learner thread in
   /// async mode, under the learner lock otherwise) and returns its status.

@@ -99,6 +99,16 @@ ShardedServiceStats ShardedArrangementService::stats() const {
         std::max(out.aggregate.snapshot_version, s.snapshot_version);
     out.aggregate.snapshot_nets_copied += s.snapshot_nets_copied;
     out.aggregate.snapshot_nets_shared += s.snapshot_nets_shared;
+    out.aggregate.transport_connections += s.transport_connections;
+    out.aggregate.transport_connections_dropped +=
+        s.transport_connections_dropped;
+    out.aggregate.transport_frames_in += s.transport_frames_in;
+    out.aggregate.transport_frames_out += s.transport_frames_out;
+    out.aggregate.transport_bytes_in += s.transport_bytes_in;
+    out.aggregate.transport_bytes_out += s.transport_bytes_out;
+    out.aggregate.transport_snapshot_fetches += s.transport_snapshot_fetches;
+    out.aggregate.transport_remote_transitions +=
+        s.transport_remote_transitions;
     merged.Merge(shard->latency_accumulator());
     out.per_shard.push_back(std::move(s));
   }

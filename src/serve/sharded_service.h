@@ -124,6 +124,14 @@ class ShardedArrangementService {
 
   std::unique_ptr<Session> NewSession();
 
+  /// Routes externally minted transition blocks (a remote actor scoring
+  /// against a snapshot replica) to `worker`'s owner shard — the same
+  /// routing invariant as Rank/Feedback, so a worker's remote experience
+  /// meets the same learner as its in-process experience would.
+  bool SubmitTransitions(WorkerId worker, TransitionBlocks blocks) {
+    return shards_[ShardOf(worker)]->SubmitTransitions(std::move(blocks));
+  }
+
   /// Checkpoints every shard: shard k writes `path` + ".shard<k>". The
   /// set restores only into a service with the same shard count.
   Status SaveState(const std::string& path);
