@@ -16,7 +16,11 @@
 // UNIX-domain socket and every actor drives it through an ActorClient —
 // one wire round trip per rank and per feedback — so the inproc/uds pair
 // A/Bs the serving stack against the full transport (frame encode/decode,
-// socket syscalls, per-connection handler threads).
+// socket syscalls, per-connection handler threads). --transport=shm keeps
+// the same daemon + clients but upgrades every connection onto a
+// per-connection shared-memory ring pair (zero per-frame syscalls), so the
+// uds/shm pair isolates exactly the syscall + frame-copy cost of the
+// socket path.
 #include <unistd.h>
 
 #include <atomic>
@@ -108,7 +112,8 @@ FrameworkConfig ServingFrameworkConfig(const PointConfig& point,
 
 SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
                     int actors, int shards, int64_t arrivals, uint64_t seed,
-                    bool over_uds) {
+                    const net::ActorClient::TransportOptions* wire) {
+  const bool over_wire = wire != nullptr;
   auto service_owner = ShardedArrangementService::Create(
       ServingFrameworkConfig(point, seed), &workload,
       workload.worker_feature_dim(), workload.task_feature_dim(), shards,
@@ -117,7 +122,7 @@ SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
   service.Start();
 
   std::unique_ptr<net::LearnerDaemon> daemon;
-  if (over_uds) {
+  if (over_wire) {
     daemon = std::make_unique<net::LearnerDaemon>(
         &service, "/tmp/crowdrl_bench_serve_" +
                       std::to_string(::getpid()) + ".sock");
@@ -131,12 +136,14 @@ SweepPoint RunPoint(const PointConfig& point, const ServeWorkload& workload,
   for (int a = 0; a < actors; ++a) {
     threads.emplace_back([&, a] {
       Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(a + 1)));
-      if (over_uds) {
+      if (over_wire) {
         // The wire path: every actor is its own client connection driving
         // one rank + one feedback round trip per arrival; the daemon holds
-        // the decision context, exactly like a remote thin actor.
+        // the decision context, exactly like a remote thin actor. Under
+        // --transport=shm the connection is upgraded onto a per-connection
+        // shared-memory ring pair right after connect.
         Result<std::unique_ptr<net::ActorClient>> client =
-            net::ActorClient::Connect(daemon->socket_path());
+            net::ActorClient::Connect(daemon->socket_path(), *wire);
         CROWDRL_CHECK(client.ok());
         while (true) {
           const int64_t i = next_ticket.fetch_add(1);
@@ -231,6 +238,10 @@ void EmitStats(JsonWriter* json, const ServiceStats& s, double wall_s) {
   json->KV("transport_bytes_out", s.transport_bytes_out);
   json->KV("transport_snapshot_fetches", s.transport_snapshot_fetches);
   json->KV("transport_remote_transitions", s.transport_remote_transitions);
+  json->KV("transport_shm_connections", s.transport_shm_connections);
+  json->KV("transport_ring_capacity", s.transport_ring_capacity);
+  json->KV("transport_ring_stalls", s.transport_ring_stalls);
+  json->KV("transport_ring_wait_syscalls", s.transport_ring_wait_syscalls);
 }
 
 int Main(int argc, char** argv) {
@@ -248,7 +259,11 @@ int Main(int argc, char** argv) {
   const std::string transport = flags.GetString(
       "transport", "inproc",
       "inproc = actors call the service directly; uds = actors are "
-      "ActorClients over a loopback UNIX-domain LearnerDaemon");
+      "ActorClients over a loopback UNIX-domain LearnerDaemon; shm = same "
+      "daemon, but each connection upgrades onto a shared-memory ring pair");
+  const int64_t ring_kb = flags.GetInt(
+      "ring_kb", static_cast<int64_t>(net::kDefaultShmRingCapacity >> 10),
+      "per-direction shm ring capacity in KiB (power of two; shm only)");
 
   ServeWorkloadConfig wl_cfg;
   wl_cfg.num_workers = static_cast<int>(
@@ -274,11 +289,17 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--shards must name at least one positive count\n");
     return 2;
   }
-  if (transport != "inproc" && transport != "uds") {
-    std::fprintf(stderr, "--transport must be inproc or uds\n");
+  if (transport != "inproc" && transport != "uds" && transport != "shm") {
+    std::fprintf(stderr, "--transport must be inproc, uds or shm\n");
     return 2;
   }
-  const bool over_uds = transport == "uds";
+  net::ActorClient::TransportOptions wire_opts;
+  wire_opts.kind = transport == "shm"
+                       ? net::ActorClient::TransportOptions::Kind::kShm
+                       : net::ActorClient::TransportOptions::Kind::kUds;
+  wire_opts.ring_capacity = static_cast<uint64_t>(ring_kb) << 10;
+  const net::ActorClient::TransportOptions* wire =
+      transport == "inproc" ? nullptr : &wire_opts;
 
   std::printf(
       "serve_throughput: arrivals=%lld actors={%s} shards={%s} pool=%d "
@@ -297,11 +318,14 @@ int Main(int argc, char** argv) {
            "events_learned"});
   JsonWriter json;
   json.BeginObject();
-  // v4: transport mode echoed at top level + per-stat transport_* counters
-  // (connections, frames, wire bytes, snapshot fetches, remote
-  // transitions; all zero for inproc points).
-  json.KV("schema", "crowdrl.serve_throughput.v4");
+  // v5: shm transport mode + ring geometry at top level, per-stat ring
+  // depth/stall counters (transport_shm_connections, ring capacity, wait
+  // episodes and wait syscalls; all zero for inproc and uds points).
+  json.KV("schema", "crowdrl.serve_throughput.v5");
   json.KV("transport", transport);
+  json.KV("ring_capacity_bytes",
+          transport == "shm" ? static_cast<int64_t>(wire_opts.ring_capacity)
+                             : int64_t{0});
   json.KV("arrivals_per_point", arrivals);
   json.KV("pool_size", static_cast<int64_t>(wl_cfg.pool_size));
   json.KV("seed", seed);
@@ -317,7 +341,7 @@ int Main(int argc, char** argv) {
       std::printf("... actors=%d shards=%d\n", actors, shards);
       std::fflush(stdout);
       const SweepPoint p =
-          RunPoint(point, workload, actors, shards, arrivals, seed, over_uds);
+          RunPoint(point, workload, actors, shards, arrivals, seed, wire);
       // Aggregate QPS counts every answered arrival (served + degraded);
       // per-shard and aggregate qps_served count batcher-served ranks only.
       const double qps =

@@ -34,6 +34,13 @@ int main(int argc, char** argv) {
   const std::string mode = flags.GetString(
       "mode", "server", "server = thin actor (Rank+Feedback); local = "
       "scoring actor (FetchSnapshot+SubmitTransitions)");
+  const std::string transport = flags.GetString(
+      "transport", "uds",
+      "uds = frames over the socket; shm = upgrade the connection onto a "
+      "shared-memory ring pair (same host only)");
+  const int64_t ring_kb = flags.GetInt(
+      "ring_kb", static_cast<int64_t>(net::kDefaultShmRingCapacity >> 10),
+      "per-direction shm ring capacity in KiB (power of two; shm only)");
   const bool shutdown =
       flags.GetBool("shutdown", false, "send a shutdown request and exit");
   const int64_t events =
@@ -58,8 +65,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (transport != "uds" && transport != "shm") {
+    std::fprintf(stderr, "crowdrl_actor: --transport must be uds or shm\n");
+    return 2;
+  }
+  net::ActorClient::TransportOptions transport_opts;
+  transport_opts.kind = transport == "shm"
+                            ? net::ActorClient::TransportOptions::Kind::kShm
+                            : net::ActorClient::TransportOptions::Kind::kUds;
+  transport_opts.ring_capacity = static_cast<uint64_t>(ring_kb) << 10;
   Result<std::unique_ptr<net::ActorClient>> connected =
-      net::ActorClient::Connect(socket_path);
+      net::ActorClient::Connect(socket_path, transport_opts);
   if (!connected.ok()) {
     std::fprintf(stderr, "crowdrl_actor: %s\n",
                  connected.status().message().c_str());
@@ -143,10 +159,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "crowdrl_actor[%lld]: mode=%s events=%lld accepted=%lld "
+      "crowdrl_actor[%lld]: mode=%s transport=%s events=%lld accepted=%lld "
       "completions=%lld frames=%lld/%lld bytes=%lld/%lld replica_v%llu\n",
       static_cast<long long>(actor_id), mode.c_str(),
-      static_cast<long long>(events), static_cast<long long>(accepted),
+      client.transport_name(), static_cast<long long>(events),
+      static_cast<long long>(accepted),
       static_cast<long long>(completions),
       static_cast<long long>(client.frames_sent()),
       static_cast<long long>(client.frames_received()),

@@ -103,6 +103,13 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.transport_bytes_out),
       static_cast<long long>(stats.transport_snapshot_fetches),
       static_cast<long long>(stats.transport_remote_transitions));
+  std::printf(
+      "crowdrl_learnerd: shm_connections=%lld ring_capacity=%lld "
+      "ring_stalls=%lld ring_wait_syscalls=%lld\n",
+      static_cast<long long>(stats.transport_shm_connections),
+      static_cast<long long>(stats.transport_ring_capacity),
+      static_cast<long long>(stats.transport_ring_stalls),
+      static_cast<long long>(stats.transport_ring_wait_syscalls));
   std::printf("crowdrl_learnerd: events=%lld/%lld all_learned=%d\n",
               static_cast<long long>(stats.events_processed),
               static_cast<long long>(stats.events_submitted),

@@ -20,13 +20,15 @@
 #                          add_test entry carries a ctest LABEL, so
 #                          `ctest -L <layer>` keeps meaning "the layer's
 #                          whole suite".
-#   5. Socket hygiene    — raw POSIX socket/file-descriptor I/O calls
-#                          (socket/accept/recv/send/read/write/...) are
+#   5. Socket hygiene    — raw POSIX socket/file-descriptor/shared-memory
+#                          calls (socket/accept/recv/send/read/write/
+#                          memfd_create/mmap/ftruncate/futex/...) are
 #                          banned outside src/net/: everything goes through
-#                          the EINTR-safe wrappers in net/socket.h. And the
-#                          net layer itself must stay SIGPIPE-safe: every
-#                          send uses MSG_NOSIGNAL and the daemon ignores
-#                          SIGPIPE before serving.
+#                          the EINTR-safe wrappers in net/socket.h and the
+#                          validated segment lifecycle in net/shm_ring.h.
+#                          And the net layer itself must stay SIGPIPE-safe:
+#                          every send uses MSG_NOSIGNAL and the daemon
+#                          ignores SIGPIPE before serving.
 #
 # Plus, when a clang++ is on PATH: the thread-safety smoke pair
 # (tests/static/) — the ok file must pass -Wthread-safety -Werror, the
@@ -220,10 +222,11 @@ RAW_IO = re.compile(
     r'(?<![\w:.>])'
     r'(socket|socketpair|accept4?|recv(?:from|msg)?|send(?:to|msg)?'
     r'|read|write|pread|pwrite|readv|writev|connect|bind|listen|shutdown'
-    r'|poll|select)\s*\(')
+    r'|poll|select'
+    r'|memfd_create|mmap|munmap|ftruncate|shm_open|shm_unlink|futex)\s*\(')
 SOCKET_HEADERS = re.compile(
     r'#\s*include\s*<(sys/socket\.h|sys/un\.h|netinet/[^>]+|arpa/[^>]+'
-    r'|poll\.h|sys/select\.h)>')
+    r'|poll\.h|sys/select\.h|sys/mman\.h|linux/futex\.h)>')
 
 io_checked = 0
 for path in sorted(glob.glob('src/**/*.h', recursive=True) +

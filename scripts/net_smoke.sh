@@ -41,14 +41,18 @@ if [[ ! -S "$SOCK" ]]; then
   exit 1
 fi
 
-# Three thin actor processes + one local-scoring actor, concurrently.
+# A mixed fleet, concurrently: two thin actors on the socket, one thin
+# actor upgraded onto a shared-memory ring pair, and one local-scoring
+# shm actor pulling snapshots through the ring (a small ring, so large
+# snapshot frames stream through wrap-around backpressure).
 "$ACTOR" --socket="$SOCK" --events=150 --actor_id=0 &
 A0=$!
-"$ACTOR" --socket="$SOCK" --events=150 --actor_id=1 &
+"$ACTOR" --socket="$SOCK" --events=150 --actor_id=1 --transport=shm &
 A1=$!
 "$ACTOR" --socket="$SOCK" --events=150 --actor_id=2 &
 A2=$!
-"$ACTOR" --socket="$SOCK" --events=80 --actor_id=3 --mode=local &
+"$ACTOR" --socket="$SOCK" --events=80 --actor_id=3 --mode=local \
+         --transport=shm --ring_kb=4 &
 A3=$!
 for pid in $A0 $A1 $A2 $A3; do
   if ! wait "$pid"; then
@@ -76,4 +80,8 @@ if ! grep -q 'connections=5 ' "$LOG"; then
   echo "net_smoke: expected 5 client connections (4 actors + shutdown)" >&2
   exit 1
 fi
-echo "net_smoke: OK — multi-process serve drained clean"
+if ! grep -q 'shm_connections=2 ' "$LOG"; then
+  echo "net_smoke: expected 2 shm-upgraded connections" >&2
+  exit 1
+fi
+echo "net_smoke: OK — mixed uds+shm multi-process serve drained clean"

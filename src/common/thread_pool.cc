@@ -48,10 +48,17 @@ bool ThreadPool::InsideThisPool() const { return tls_active_pool == this; }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || threads_.empty() || InsideThisPool()) {
+  // On a single-CPU machine nothing can execute in parallel: the dispatch
+  // would only buy a condvar broadcast waking workers that then contend
+  // with the caller for the one core.
+  static const bool kSingleCpu = std::thread::hardware_concurrency() <= 1;
+  if (n == 1 || threads_.empty() || kSingleCpu || InsideThisPool()) {
     // Nested parallelism (a task of this pool calling back into it) would
     // deadlock waiting for workers that are all busy in the outer loop —
-    // run the nested loop inline on the calling thread instead.
+    // run the nested loop inline on the calling thread instead. The scope
+    // keeps InsideThisPool() true inside inline bodies too, so nesting
+    // detection is uniform across the inline and dispatched paths.
+    ScopedActivePool scope(this);
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -2,23 +2,40 @@
 
 #include <utility>
 
+#include "net/shm_transport.h"
+
 namespace crowdrl {
 namespace net {
 
 Result<std::unique_ptr<ActorClient>> ActorClient::Connect(
     const std::string& path) {
+  return Connect(path, TransportOptions());
+}
+
+Result<std::unique_ptr<ActorClient>> ActorClient::Connect(
+    const std::string& path, const TransportOptions& options) {
   CROWDRL_ASSIGN_OR_RETURN(FdHandle fd, ConnectUnix(path));
-  return std::unique_ptr<ActorClient>(new ActorClient(std::move(fd)));
+  std::unique_ptr<Transport> transport;
+  if (options.kind == TransportOptions::Kind::kShm) {
+    CROWDRL_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShmTransport> shm,
+        ShmConnectClient(fd.fd(), options.ring_capacity));
+    transport = std::move(shm);
+  } else {
+    transport = std::make_unique<SocketTransport>(fd.fd());
+  }
+  return std::unique_ptr<ActorClient>(
+      new ActorClient(std::move(fd), std::move(transport)));
 }
 
 Status ActorClient::Call(MsgType type, const std::string& body,
                          MsgType expect, std::string* resp_body) {
   const uint32_t seq = next_seq_++;
-  CROWDRL_RETURN_NOT_OK(SendFrame(fd_.fd(), type, seq, body));
+  CROWDRL_RETURN_NOT_OK(transport_->SendFrame(type, seq, body));
   ++frames_sent_;
   bytes_sent_ += static_cast<int64_t>(sizeof(FrameHeader) + body.size());
   FrameHeader header;
-  CROWDRL_RETURN_NOT_OK(RecvFrame(fd_.fd(), &header, resp_body));
+  CROWDRL_RETURN_NOT_OK(transport_->RecvFrame(&header, resp_body));
   ++frames_received_;
   bytes_received_ +=
       static_cast<int64_t>(sizeof(FrameHeader) + resp_body->size());

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/shm_ring.h"
 #include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
 
 namespace crowdrl {
@@ -36,9 +38,23 @@ namespace net {
 ///    decoupled from the daemon's thread budget.
 class ActorClient {
  public:
-  /// Connects to the daemon at `path`.
+  /// How the frames travel once connected. Every connection starts on the
+  /// UNIX-domain socket; `kShm` immediately upgrades it onto a
+  /// per-connection shared-memory ring pair (the socket stays open as the
+  /// bootstrap/liveness channel — see shm_transport.h).
+  struct TransportOptions {
+    enum class Kind { kUds, kShm };
+    Kind kind = Kind::kUds;
+    /// Per-direction ring bytes (power of two); kShm only.
+    uint64_t ring_capacity = kDefaultShmRingCapacity;
+  };
+
+  /// Connects to the daemon at `path` over the socket transport.
   static Result<std::unique_ptr<ActorClient>> Connect(
       const std::string& path);
+  /// Connects with an explicit transport choice.
+  static Result<std::unique_ptr<ActorClient>> Connect(
+      const std::string& path, const TransportOptions& options);
 
   ActorClient(const ActorClient&) = delete;
   ActorClient& operator=(const ActorClient&) = delete;
@@ -85,15 +101,24 @@ class ActorClient {
   int64_t bytes_sent() const { return bytes_sent_; }
   int64_t bytes_received() const { return bytes_received_; }
 
+  /// "uds" or "shm".
+  const char* transport_name() const { return transport_->name(); }
+  /// Ring wait counters (all-zero for the socket transport).
+  RingStats ring_stats() const { return transport_->ring_stats(); }
+
  private:
-  explicit ActorClient(FdHandle fd) : fd_(std::move(fd)) {}
+  ActorClient(FdHandle fd, std::unique_ptr<Transport> transport)
+      : fd_(std::move(fd)), transport_(std::move(transport)) {}
 
   /// One round trip: send (type, body), receive, demand `expect` (kError
   /// is decoded into its carried Status).
   Status Call(MsgType type, const std::string& body, MsgType expect,
               std::string* resp_body);
 
+  /// The bootstrap socket. The uds transport sends frames over it; the
+  /// shm transport only borrows it for liveness probes.
   FdHandle fd_;
+  std::unique_ptr<Transport> transport_;
   uint32_t next_seq_ = 1;
   uint64_t replica_version_ = 0;
   std::shared_ptr<const PolicySnapshot> replica_;

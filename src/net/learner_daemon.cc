@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "net/shm_transport.h"
+#include "net/transport.h"
 #include "net/wire.h"
 
 namespace crowdrl {
@@ -74,6 +76,10 @@ ServiceStats LearnerDaemon::Stats() const {
   s.transport_bytes_out = bytes_out_.load();
   s.transport_snapshot_fetches = snapshot_fetches_.load();
   s.transport_remote_transitions = remote_transitions_.load();
+  s.transport_shm_connections = shm_connections_.load();
+  s.transport_ring_capacity = ring_capacity_.load();
+  s.transport_ring_stalls = ring_stalls_.load();
+  s.transport_ring_wait_syscalls = ring_wait_syscalls_.load();
   return s;
 }
 
@@ -186,8 +192,13 @@ void LearnerDaemon::ServeConnection(int fd, uint64_t conn_id) {
   FrameHeader header;
   std::string body;
   std::string resp_body;
+  // The connection starts on the socket and may be upgraded exactly once
+  // to a shared-memory ring pair; the frame loop below is transport-blind.
+  SocketTransport socket_transport(fd);
+  std::unique_ptr<ShmTransport> shm_transport;
+  Transport* transport = &socket_transport;
   for (;;) {
-    Status st = RecvFrame(fd, &header, &body);
+    Status st = transport->RecvFrame(&header, &body);
     if (!st.ok()) {
       // A clean close (NotFound) ends the conversation; a bad header means
       // the stream cannot be re-synchronized — report best-effort, drop.
@@ -195,17 +206,55 @@ void LearnerDaemon::ServeConnection(int fd, uint64_t conn_id) {
           st.code() != StatusCode::kIoError) {
         resp_body.clear();
         AppendError(st, &resp_body);
-        (void)SendFrame(fd, MsgType::kError, header.seq, resp_body);
+        (void)transport->SendFrame(MsgType::kError, header.seq, resp_body);
       }
       break;
     }
     frames_in_.fetch_add(1);
     bytes_in_.fetch_add(
         static_cast<int64_t>(sizeof(header) + body.size()));
+    const MsgType type = static_cast<MsgType>(header.type);
+    if (type == MsgType::kShmSetupRequest) {
+      // Handled here, not in Dispatch: the upgrade needs the raw socket
+      // for the SCM_RIGHTS handoff and swaps the loop's transport.
+      st = Status::OK();
+      if (shm_transport != nullptr) {
+        st = Status::FailedPrecondition("connection already on shm");
+      } else if (transport != &socket_transport) {
+        st = Status::Internal("shm setup on non-socket transport");
+      } else {
+        auto upgraded = ShmAcceptServer(fd, header.seq, body);
+        if (upgraded.ok()) {
+          shm_transport = std::move(upgraded).value();
+          transport = shm_transport.get();
+          shm_connections_.fetch_add(1);
+          const int64_t cap = shm_transport->ring_stats().ring_capacity;
+          int64_t prev = ring_capacity_.load();
+          while (cap > prev &&
+                 !ring_capacity_.compare_exchange_weak(prev, cap)) {
+          }
+          frames_out_.fetch_add(1);
+          bytes_out_.fetch_add(static_cast<int64_t>(
+              sizeof(FrameHeader) + sizeof(ShmSetupResponseHead)));
+          continue;
+        }
+        st = upgraded.status();
+      }
+      resp_body.clear();
+      AppendError(st, &resp_body);
+      if (!transport->SendFrame(MsgType::kError, header.seq, resp_body)
+               .ok()) {
+        break;
+      }
+      frames_out_.fetch_add(1);
+      bytes_out_.fetch_add(
+          static_cast<int64_t>(sizeof(FrameHeader) + resp_body.size()));
+      continue;
+    }
     resp_body.clear();
     MsgType resp_type = MsgType::kError;
-    st = Dispatch(static_cast<MsgType>(header.type), body, session.get(),
-                  &pending, &events_submitted, &resp_type, &resp_body);
+    st = Dispatch(type, body, session.get(), &pending, &events_submitted,
+                  &resp_type, &resp_body);
     if (!st.ok()) {
       // Body-level fault: the frame boundary is intact, so answer with a
       // typed error and keep serving the connection.
@@ -213,10 +262,18 @@ void LearnerDaemon::ServeConnection(int fd, uint64_t conn_id) {
       resp_body.clear();
       AppendError(st, &resp_body);
     }
-    if (!SendFrame(fd, resp_type, header.seq, resp_body).ok()) break;
+    if (!transport->SendFrame(resp_type, header.seq, resp_body).ok()) break;
     frames_out_.fetch_add(1);
     bytes_out_.fetch_add(
         static_cast<int64_t>(sizeof(FrameHeader) + resp_body.size()));
+  }
+  if (shm_transport != nullptr) {
+    // Wake a client parked on the ring, then fold this connection's wait
+    // counters into the daemon totals.
+    shm_transport->Close();
+    const RingStats rs = shm_transport->ring_stats();
+    ring_stalls_.fetch_add(rs.send_stalls + rs.recv_waits);
+    ring_wait_syscalls_.fetch_add(rs.wait_syscalls);
   }
   session->Flush();
 }

@@ -38,7 +38,13 @@ namespace net {
 ///    `PolicySnapshot`, version-gated so an up-to-date replica costs a
 ///    header, not a parameter copy;
 ///  * **Stats / Shutdown** — aggregate ServiceStats (with live transport
-///    counters) and a cooperative stop signal for process supervisors.
+///    counters) and a cooperative stop signal for process supervisors;
+///  * **ShmSetup** — upgrades the connection from the socket onto a
+///    per-connection shared-memory ring pair (`shm_transport.h`): the
+///    daemon creates an anonymous memfd segment, hands the fd back via
+///    SCM_RIGHTS on this very socket, and the frame loop continues over
+///    the rings with zero per-frame syscalls. The socket stays open as
+///    the liveness/shutdown channel. One upgrade per connection.
 ///
 /// Malformed frames are answered with a typed kError frame when possible;
 /// connections whose header cannot be trusted are dropped. The daemon
@@ -96,6 +102,13 @@ class LearnerDaemon {
   std::atomic<int64_t> bytes_out_{0};
   std::atomic<int64_t> snapshot_fetches_{0};
   std::atomic<int64_t> remote_transitions_{0};
+  // Shared-memory ring counters: connections upgraded via kShmSetupRequest,
+  // the largest accepted per-direction ring, and the wait/stall totals
+  // folded in as each shm connection finishes.
+  std::atomic<int64_t> shm_connections_{0};
+  std::atomic<int64_t> ring_capacity_{0};
+  std::atomic<int64_t> ring_stalls_{0};
+  std::atomic<int64_t> ring_wait_syscalls_{0};
 };
 
 }  // namespace net

@@ -1,0 +1,175 @@
+#include "net/shm_ring.h"
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <string>
+#include <utility>
+
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace crowdrl {
+namespace net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+Status ValidateCapacity(uint64_t ring_capacity) {
+  if (!IsPow2(ring_capacity) || ring_capacity < kMinShmRingCapacity ||
+      ring_capacity > kMaxShmRingCapacity) {
+    return Status::InvalidArgument(
+        "shm ring capacity must be a power of two in [" +
+        std::to_string(kMinShmRingCapacity) + ", " +
+        std::to_string(kMaxShmRingCapacity) + "], got " +
+        std::to_string(ring_capacity));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ShmSegment::~ShmSegment() {
+  if (base_ != nullptr) {
+    ::munmap(base_, static_cast<size_t>(segment_bytes()));
+  }
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) {
+      ::munmap(base_, static_cast<size_t>(segment_bytes()));
+    }
+    fd_ = std::move(other.fd_);
+    base_ = other.base_;
+    header_ = other.header_;
+    ring_capacity_ = other.ring_capacity_;
+    other.base_ = nullptr;
+    other.header_ = nullptr;
+    other.ring_capacity_ = 0;
+  }
+  return *this;
+}
+
+Result<ShmSegment> ShmSegment::Create(uint64_t ring_capacity) {
+  CROWDRL_RETURN_NOT_OK(ValidateCapacity(ring_capacity));
+  const uint64_t bytes = ShmSegmentBytes(ring_capacity);
+  // Anonymous segment: no filesystem name exists at any point, so there is
+  // nothing to unlink and nothing another uid could open — the SCM_RIGHTS
+  // fd is the sole capability (the trust model README documents).
+  FdHandle fd(::memfd_create("crowdrl-shm-ring", MFD_CLOEXEC));
+  if (!fd.valid()) return Errno("memfd_create");
+  if (::ftruncate(fd.fd(), static_cast<off_t>(bytes)) != 0) {
+    return Errno("ftruncate");
+  }
+  void* base = ::mmap(nullptr, static_cast<size_t>(bytes),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, fd.fd(), 0);
+  if (base == MAP_FAILED) return Errno("mmap");
+  // The fresh pages are zero-filled; placement-new stamps the header and
+  // formally begins the atomics' lifetime at their zero state.
+  auto* header = new (base) ShmSegmentHeader{};
+  header->ring_capacity = ring_capacity;
+
+  ShmSegment seg;
+  seg.fd_ = std::move(fd);
+  seg.base_ = base;
+  seg.header_ = header;
+  seg.ring_capacity_ = ring_capacity;
+  return seg;
+}
+
+Result<ShmSegment> ShmSegment::Map(FdHandle fd) {
+  if (!fd.valid()) {
+    return Status::InvalidArgument("shm map: empty fd");
+  }
+  struct stat st;
+  if (::fstat(fd.fd(), &st) != 0) return Errno("fstat");
+  const uint64_t actual = static_cast<uint64_t>(st.st_size);
+  if (actual < sizeof(ShmSegmentHeader)) {
+    return Status::OutOfRange("shm segment truncated: " +
+                              std::to_string(actual) + " bytes");
+  }
+  void* base = ::mmap(nullptr, static_cast<size_t>(actual),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, fd.fd(), 0);
+  if (base == MAP_FAILED) return Errno("mmap");
+  auto* header = static_cast<ShmSegmentHeader*>(base);
+  Status st_hdr = Status::OK();
+  if (header->magic != kShmMagic) {
+    st_hdr = Status::InvalidArgument("shm segment bad magic");
+  } else if (header->layout_version != kShmLayoutVersion) {
+    st_hdr = Status::FailedPrecondition(
+        "shm layout version mismatch: got " +
+        std::to_string(header->layout_version) + ", want " +
+        std::to_string(kShmLayoutVersion));
+  } else {
+    st_hdr = ValidateCapacity(header->ring_capacity);
+    if (st_hdr.ok() && ShmSegmentBytes(header->ring_capacity) != actual) {
+      st_hdr = Status::OutOfRange(
+          "shm segment size mismatch: " + std::to_string(actual) +
+          " bytes for capacity " + std::to_string(header->ring_capacity));
+    }
+  }
+  if (!st_hdr.ok()) {
+    ::munmap(base, static_cast<size_t>(actual));
+    return st_hdr;
+  }
+
+  ShmSegment seg;
+  seg.fd_ = std::move(fd);
+  seg.base_ = base;
+  seg.header_ = header;
+  seg.ring_capacity_ = header->ring_capacity;
+  return seg;
+}
+
+uint8_t* ShmSegment::ring_data(int direction) {
+  uint8_t* data = static_cast<uint8_t*>(base_) + sizeof(ShmSegmentHeader);
+  return direction == 0 ? data : data + ring_capacity_;
+}
+
+size_t SpscRing::TryWrite(const void* src, size_t n) {
+  // Sole writer of head: relaxed self-read. Acquire tail so the consumer's
+  // release there guarantees its reads of the bytes we are about to
+  // overwrite have completed.
+  const uint64_t head = ctl_->head.load(std::memory_order_relaxed);
+  const uint64_t tail = ctl_->tail.load(std::memory_order_acquire);
+  const uint64_t free = capacity_ - (head - tail);
+  const size_t k = n < free ? n : static_cast<size_t>(free);
+  if (k == 0) return 0;
+  const size_t off = static_cast<size_t>(head & mask_);
+  const size_t first = k < capacity_ - off
+                           ? k
+                           : static_cast<size_t>(capacity_ - off);
+  std::memcpy(data_ + off, src, first);
+  if (k > first) {
+    std::memcpy(data_, static_cast<const uint8_t*>(src) + first, k - first);
+  }
+  ctl_->head.store(head + k, std::memory_order_release);
+  return k;
+}
+
+size_t SpscRing::TryRead(void* dst, size_t n) {
+  const uint64_t tail = ctl_->tail.load(std::memory_order_relaxed);
+  const uint64_t head = ctl_->head.load(std::memory_order_acquire);
+  const uint64_t avail = head - tail;
+  const size_t k = n < avail ? n : static_cast<size_t>(avail);
+  if (k == 0) return 0;
+  const size_t off = static_cast<size_t>(tail & mask_);
+  const size_t first = k < capacity_ - off
+                           ? k
+                           : static_cast<size_t>(capacity_ - off);
+  std::memcpy(dst, data_ + off, first);
+  if (k > first) {
+    std::memcpy(static_cast<uint8_t*>(dst) + first, data_, k - first);
+  }
+  ctl_->tail.store(tail + k, std::memory_order_release);
+  return k;
+}
+
+}  // namespace net
+}  // namespace crowdrl

@@ -1,0 +1,191 @@
+#ifndef CROWDRL_NET_SHM_RING_H_
+#define CROWDRL_NET_SHM_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+/// \file
+/// \brief The shared-memory substrate of the same-host serving transport:
+/// a per-connection `memfd_create` segment holding two cache-line-separated
+/// SPSC byte rings (client→server and server→client).
+///
+/// Layout contract (`ShmSegmentLayout`, validated by magic + layout version
+/// on map): one packed segment header, two `RingControl` blocks whose
+/// producer and consumer cursors live on *different* cache lines (the
+/// producer writes `head`, the consumer writes `tail`; sharing a line would
+/// make every publish a coherence miss for the peer), then the two data
+/// regions. Ring capacities are powers of two so positions are free-running
+/// uint64 counters and the index is a mask, never a modulo — the counters
+/// only ever increase, which is also what makes the full/empty distinction
+/// unambiguous without wasting a slot.
+///
+/// Memory-ordering contract: the producer publishes bytes with a *release*
+/// store of `head` after the memcpy into the data region; the consumer
+/// acquires `head` before reading, and releases `tail` after consuming.
+/// Each cursor has exactly one writer, so its owner may read it relaxed.
+/// `std::atomic<uint64_t>` must be address-free (lock-free) for this to be
+/// valid across processes — statically asserted below.
+///
+/// Peer death is cooperative-first: `Close*` sets a `*_closed` flag the
+/// other side observes on its next wait. Crash detection (no flag ever
+/// set) is the transport's job — it polls the bootstrap socket for EOF
+/// while sleeping (see shm_transport.h); the ring itself stays free of
+/// syscalls.
+
+namespace crowdrl {
+namespace net {
+
+/// "CRLS" — stamped on the segment header so a mismapped or truncated
+/// segment is rejected before either cursor is trusted.
+inline constexpr uint32_t kShmMagic = 0x434C5253u;
+/// Bumped whenever the segment layout changes (field offsets, control
+/// block shape); a mismatch is a FailedPrecondition at map time.
+inline constexpr uint32_t kShmLayoutVersion = 1;
+
+/// Ring capacity bounds (bytes per direction; power of two required).
+/// Frames larger than the ring stream through it in chunks, so the lower
+/// bound only needs to hold a FrameHeader comfortably.
+inline constexpr uint64_t kMinShmRingCapacity = 1u << 12;   // 4 KiB
+inline constexpr uint64_t kMaxShmRingCapacity = 64u << 20;  // 64 MiB
+inline constexpr uint64_t kDefaultShmRingCapacity = 1u << 20;
+
+/// One direction's cursor block. The producer cache line carries `head`
+/// (bytes ever published) and the producer's close flag; the consumer line
+/// carries `tail` (bytes ever consumed) and its close flag.
+struct RingControl {
+  alignas(64) std::atomic<uint64_t> head;
+  std::atomic<uint32_t> producer_closed;
+  alignas(64) std::atomic<uint64_t> tail;
+  std::atomic<uint32_t> consumer_closed;
+};
+static_assert(sizeof(RingControl) == 128, "two cache lines per direction");
+static_assert(std::atomic<uint64_t>::is_always_lock_free &&
+                  std::atomic<uint32_t>::is_always_lock_free,
+              "shm cursors must be address-free atomics");
+
+/// The fixed header at offset 0 of every segment.
+struct ShmSegmentHeader {
+  uint32_t magic = kShmMagic;
+  uint32_t layout_version = kShmLayoutVersion;
+  uint64_t ring_capacity = 0;  ///< bytes per direction
+  uint8_t pad[48] = {};        ///< keep the control blocks line-aligned
+  RingControl client_to_server;
+  RingControl server_to_client;
+};
+static_assert(sizeof(ShmSegmentHeader) == 64 + 2 * sizeof(RingControl),
+              "segment layout contract");
+static_assert(alignof(ShmSegmentHeader) == 64, "control blocks line-aligned");
+
+/// Total segment size for a given per-direction capacity.
+constexpr uint64_t ShmSegmentBytes(uint64_t ring_capacity) {
+  return sizeof(ShmSegmentHeader) + 2 * ring_capacity;
+}
+
+/// \brief An owned mapping of one connection's ring segment.
+///
+/// The daemon side `Create()`s an anonymous `memfd_create` segment (no
+/// filesystem name to unlink or leak — the fd is the only handle, passed
+/// to the client over the bootstrap socket via SCM_RIGHTS) and the client
+/// side `Map()`s the received fd after validating size and header. Both
+/// sides hold their own mapping; the segment dies with the last mapping +
+/// fd, so a crashed peer can never strand it.
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+  ~ShmSegment();
+
+  ShmSegment(ShmSegment&& other) noexcept { *this = std::move(other); }
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  /// Creates + maps a fresh anonymous segment with zeroed cursors.
+  /// `ring_capacity` must be a power of two within the bounds above.
+  static Result<ShmSegment> Create(uint64_t ring_capacity);
+
+  /// Maps a segment received from a peer. Validates the fd's size against
+  /// the header's declared capacity, the magic and the layout version, so
+  /// a hostile or stale peer cannot induce out-of-bounds ring pointers.
+  /// Takes ownership of `fd` (it is kept open for the segment's lifetime).
+  static Result<ShmSegment> Map(FdHandle fd);
+
+  bool valid() const { return base_ != nullptr; }
+  int fd() const { return fd_.fd(); }
+  uint64_t ring_capacity() const { return ring_capacity_; }
+  uint64_t segment_bytes() const { return ShmSegmentBytes(ring_capacity_); }
+
+  ShmSegmentHeader* header() { return header_; }
+  /// Data region of the client→server (index 0) or server→client (1) ring.
+  uint8_t* ring_data(int direction);
+
+ private:
+  FdHandle fd_;
+  void* base_ = nullptr;
+  ShmSegmentHeader* header_ = nullptr;
+  uint64_t ring_capacity_ = 0;
+};
+
+/// \brief One side's non-blocking view of one SPSC byte ring. A role
+/// (producer or consumer) uses only its own methods; the ring carries an
+/// unstructured byte stream — framing is the transport's business.
+///
+/// Syscall-free by construction: Try* either moves bytes or returns 0.
+/// Waiting (and therefore any sleeping/yielding) lives in the transport's
+/// backoff policy so tests can count every potential syscall.
+class SpscRing {
+ public:
+  SpscRing() = default;
+  /// `capacity` must match the segment's (power of two). `ctl`/`data`
+  /// point into a mapped segment and must outlive the view.
+  SpscRing(RingControl* ctl, uint8_t* data, uint64_t capacity)
+      : ctl_(ctl), data_(data), capacity_(capacity), mask_(capacity - 1) {}
+
+  uint64_t capacity() const { return capacity_; }
+
+  // ---- producer side ----
+
+  /// Copies up to `n` bytes of `src` into the ring; returns bytes written
+  /// (0 when full). Publishes with one release store per call.
+  size_t TryWrite(const void* src, size_t n);
+  /// Marks the stream complete; the consumer drains what remains, then
+  /// sees EOF.
+  void CloseProducer() {
+    ctl_->producer_closed.store(1, std::memory_order_release);
+  }
+  bool consumer_closed() const {
+    return ctl_->consumer_closed.load(std::memory_order_acquire) != 0;
+  }
+
+  // ---- consumer side ----
+
+  /// Copies up to `n` available bytes into `dst`; returns bytes read
+  /// (0 when empty).
+  size_t TryRead(void* dst, size_t n);
+  void CloseConsumer() {
+    ctl_->consumer_closed.store(1, std::memory_order_release);
+  }
+  bool producer_closed() const {
+    return ctl_->producer_closed.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Bytes currently buffered (either side may call; a racy snapshot).
+  uint64_t used() const {
+    return ctl_->head.load(std::memory_order_acquire) -
+           ctl_->tail.load(std::memory_order_acquire);
+  }
+
+ private:
+  RingControl* ctl_ = nullptr;
+  uint8_t* data_ = nullptr;
+  uint64_t capacity_ = 0;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace net
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NET_SHM_RING_H_

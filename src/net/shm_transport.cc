@@ -1,0 +1,264 @@
+#include "net/shm_transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+
+#include "net/wire.h"
+
+namespace crowdrl {
+namespace net {
+namespace {
+
+// Backoff ladder: spin (only worth anything when the peer can actually run
+// on another core — on a single-CPU box every spin cycle is stolen from
+// the peer, so the spin phase collapses to zero there), then straight to
+// sleeping. No yield phase: sched_yield keeps the waiter runnable, which
+// costs it the sleeper's wakeup-preemption credit under CFS — measured on
+// a single core, that alone multiplied rank p99 several-fold whenever a
+// learner step held the CPU. The sleep cap bounds worst-case wake latency
+// on an idle connection; the liveness poll cadence bounds crash-detection
+// latency to a few sleep periods.
+inline uint32_t SpinRounds() {
+  static const uint32_t rounds =
+      std::thread::hardware_concurrency() > 1 ? 64 : 0;
+  return rounds;
+}
+constexpr uint32_t kYieldRounds = 0;
+// Two-tier sleep schedule: `kFineSleeps` short constant sleeps cover the
+// typical in-flight wait (a coalesced batch round trip) with low wake
+// lateness, then exponential escalation parks the thread cheaply across
+// long gaps (an idle connection, a learner step hogging the core).
+constexpr uint32_t kFineSleeps = 16;
+constexpr int64_t kFineSleepUs = 15;
+constexpr int64_t kMaxSleepUs = 2000;
+constexpr uint32_t kPollEverySleeps = 8;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace
+
+ShmTransport::ShmTransport(ShmSegment segment, ShmRole role, int control_fd)
+    : segment_(std::move(segment)), control_fd_(control_fd) {
+  ShmSegmentHeader* h = segment_.header();
+  const uint64_t cap = segment_.ring_capacity();
+  SpscRing c2s(&h->client_to_server, segment_.ring_data(0), cap);
+  SpscRing s2c(&h->server_to_client, segment_.ring_data(1), cap);
+  if (role == ShmRole::kServer) {
+    in_ = c2s;
+    out_ = s2c;
+  } else {
+    in_ = s2c;
+    out_ = c2s;
+  }
+}
+
+ShmTransport::~ShmTransport() { Close(); }
+
+void ShmTransport::Close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.CloseProducer();
+  in_.CloseConsumer();
+}
+
+RingStats ShmTransport::ring_stats() const {
+  RingStats s;
+  s.ring_capacity = static_cast<int64_t>(segment_.ring_capacity());
+  s.send_stalls = send_stalls_;
+  s.recv_waits = recv_waits_;
+  s.wait_syscalls = wait_syscalls_;
+  return s;
+}
+
+Status ShmTransport::BackoffStep(uint32_t attempt, int64_t* stall_counter) {
+  if (attempt == 0) ++*stall_counter;
+  const uint32_t spin_rounds = SpinRounds();
+  if (attempt < spin_rounds) {
+    CpuRelax();
+    return Status::OK();
+  }
+  if (attempt < spin_rounds + kYieldRounds) {
+    ++wait_syscalls_;
+    std::this_thread::yield();
+    return Status::OK();
+  }
+  const uint32_t sleep_round = attempt - spin_rounds - kYieldRounds;
+  int64_t us = kFineSleepUs;
+  if (sleep_round >= kFineSleeps) {
+    const uint32_t coarse = sleep_round - kFineSleeps;
+    us = (2 * kFineSleepUs) << (coarse < 5 ? coarse : 5);
+    if (us > kMaxSleepUs) us = kMaxSleepUs;
+  }
+  ++wait_syscalls_;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+  // Probe only once the ladder has escalated: a healthy connection
+  // resolves its waits in the fine tier (progress resets the ladder), so
+  // a wait that reaches the coarse tier is either a genuinely idle peer
+  // or a dead one — exactly when the probe is worth its two syscalls.
+  if (sleep_round < kFineSleeps ||
+      (sleep_round - kFineSleeps) % kPollEverySleeps != 0 ||
+      control_fd_ < 0) {
+    return Status::OK();
+  }
+  // Liveness probe: a peer that crashed never set its close flag, but its
+  // end of the control socket closed with the process. MSG_PEEK never
+  // consumes — the control channel stays intact for the bootstrap owner.
+  ++wait_syscalls_;
+  CROWDRL_ASSIGN_OR_RETURN(const bool readable,
+                           WaitReadable(control_fd_, 0));
+  if (!readable) return Status::OK();
+  ++wait_syscalls_;
+  char probe;
+  const ssize_t r =
+      ::recv(control_fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (r == 0) {
+    return Status::IoError("shm control channel closed by peer");
+  }
+  if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+    return Status::IoError(std::string("shm control probe: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ShmTransport::WriteBytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  uint32_t attempt = 0;
+  while (sent < n) {
+    const size_t k = out_.TryWrite(p + sent, n - sent);
+    if (k > 0) {
+      sent += k;
+      attempt = 0;
+      continue;
+    }
+    if (out_.consumer_closed()) {
+      return Status::IoError("shm ring closed by consumer mid-send");
+    }
+    CROWDRL_RETURN_NOT_OK(BackoffStep(attempt++, &send_stalls_));
+  }
+  return Status::OK();
+}
+
+Status ShmTransport::ReadBytes(void* data, size_t n, bool* eof_at_start) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  uint32_t attempt = 0;
+  while (got < n) {
+    size_t k = in_.TryRead(p + got, n - got);
+    if (k > 0) {
+      got += k;
+      attempt = 0;
+      continue;
+    }
+    if (in_.producer_closed()) {
+      // Close-flag/data race: the producer publishes bytes *before* the
+      // flag, so one more read after observing it drains any remainder.
+      k = in_.TryRead(p + got, n - got);
+      if (k > 0) {
+        got += k;
+        attempt = 0;
+        continue;
+      }
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::IoError("shm ring closed mid-read");
+    }
+    CROWDRL_RETURN_NOT_OK(BackoffStep(attempt++, &recv_waits_));
+  }
+  return Status::OK();
+}
+
+Status ShmTransport::SendFrame(MsgType type, uint32_t seq,
+                               const std::string& body) {
+  if (body.size() > kMaxFrameBody) {
+    return FaultStatus(WireFault::kOversized, "send-frame");
+  }
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(type);
+  header.seq = seq;
+  header.body_len = static_cast<uint32_t>(body.size());
+  // Written in place: header and body memcpy straight into the mapped
+  // ring (split at the wrap point inside TryWrite) — no frame buffer, no
+  // syscalls. The consumer only ever sees published prefixes, so the
+  // header/body split is invisible to it.
+  CROWDRL_RETURN_NOT_OK(WriteBytes(&header, sizeof(header)));
+  if (body.empty()) return Status::OK();
+  return WriteBytes(body.data(), body.size());
+}
+
+Status ShmTransport::RecvFrame(FrameHeader* header, std::string* body) {
+  bool eof = false;
+  CROWDRL_RETURN_NOT_OK(ReadBytes(header, sizeof(*header), &eof));
+  const WireFault fault = CheckHeader(*header);
+  if (fault != WireFault::kNone) return FaultStatus(fault, "recv-frame");
+  body->resize(header->body_len);
+  if (header->body_len == 0) return Status::OK();
+  return ReadBytes(&(*body)[0], body->size(), nullptr);
+}
+
+Result<std::unique_ptr<ShmTransport>> ShmConnectClient(
+    int control_fd, uint64_t ring_capacity) {
+  std::string body;
+  AppendShmSetupRequest(ring_capacity, &body);
+  CROWDRL_RETURN_NOT_OK(
+      SendFrame(control_fd, MsgType::kShmSetupRequest, 0, body));
+  FrameHeader header;
+  std::string resp;
+  FdHandle seg_fd;
+  CROWDRL_RETURN_NOT_OK(RecvFrameWithFd(control_fd, &header, &resp, &seg_fd));
+  const MsgType got = static_cast<MsgType>(header.type);
+  if (got == MsgType::kError) return ParseError(resp.data(), resp.size());
+  if (got != MsgType::kShmSetupResponse) {
+    return Status::Internal("unexpected shm setup response type " +
+                            std::to_string(header.type));
+  }
+  ShmSetupResponseHead head;
+  CROWDRL_RETURN_NOT_OK(
+      ParseShmSetupResponse(resp.data(), resp.size(), &head));
+  if (!seg_fd.valid()) {
+    return Status::Internal("shm setup response carried no segment fd");
+  }
+  CROWDRL_ASSIGN_OR_RETURN(ShmSegment segment,
+                           ShmSegment::Map(std::move(seg_fd)));
+  if (segment.ring_capacity() != head.ring_capacity ||
+      segment.segment_bytes() != head.segment_bytes) {
+    return Status::InvalidArgument(
+        "shm setup response disagrees with the mapped segment");
+  }
+  return std::make_unique<ShmTransport>(std::move(segment), ShmRole::kClient,
+                                        control_fd);
+}
+
+Result<std::unique_ptr<ShmTransport>> ShmAcceptServer(
+    int control_fd, uint32_t request_seq, const std::string& request_body) {
+  ShmSetupRequestHead head;
+  CROWDRL_RETURN_NOT_OK(ParseShmSetupRequest(request_body.data(),
+                                             request_body.size(), &head));
+  CROWDRL_ASSIGN_OR_RETURN(ShmSegment segment,
+                           ShmSegment::Create(head.ring_capacity));
+  std::string resp;
+  AppendShmSetupResponse(segment.ring_capacity(), segment.segment_bytes(),
+                         &resp);
+  CROWDRL_RETURN_NOT_OK(SendFrameWithFd(control_fd,
+                                        MsgType::kShmSetupResponse,
+                                        request_seq, resp, segment.fd()));
+  return std::make_unique<ShmTransport>(std::move(segment), ShmRole::kServer,
+                                        control_fd);
+}
+
+}  // namespace net
+}  // namespace crowdrl

@@ -1,0 +1,123 @@
+#ifndef CROWDRL_NET_SHM_TRANSPORT_H_
+#define CROWDRL_NET_SHM_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "net/shm_ring.h"
+#include "net/socket.h"
+#include "net/transport.h"
+
+/// \file
+/// \brief The shared-memory ring transport: wire frames written in place
+/// into a per-connection SPSC ring pair, with zero per-frame syscalls in
+/// steady state.
+///
+/// Bootstrap (the only part that touches the socket): the client sends
+/// kShmSetupRequest over its fresh UDS connection; the daemon creates an
+/// anonymous `memfd_create` segment, answers kShmSetupResponse with the
+/// segment fd attached via SCM_RIGHTS, and both sides swap their frame
+/// loop onto `ShmTransport`. The UDS connection stays open but silent —
+/// it is the liveness channel (a crashed peer's fd reads EOF) and the
+/// shutdown lever (`SocketServer::Stop` shuts it down, which unparks any
+/// handler sleeping on an idle ring).
+///
+/// Wait strategy (futex/condvar-free, bounded): a short spin of CPU-relax
+/// pauses (skipped entirely on a single-CPU host, where the peer cannot
+/// run while we spin), then two sleep tiers — a run of short fixed
+/// nanosleeps sized to a coalesced batch round trip, escalating to
+/// exponentially growing sleeps capped at `kMaxSleepUs`. Deliberately no
+/// `sched_yield`: a yielding waiter keeps itself runnable and forfeits
+/// the wakeup-preemption credit a sleeping thread earns under CFS, which
+/// is exactly what lets an unparked actor preempt a compute-bound learner
+/// step — pure sleeps keep the ring's tail latency at socket-wakeup
+/// levels on an oversubscribed core. Every sleep/poll is counted in
+/// `RingStats::wait_syscalls` so the steady-state-zero-syscall property
+/// is testable, not aspirational. Once a wait escalates past the fine
+/// tier, the control fd is polled (MSG_PEEK, never consuming) so a peer
+/// that died without setting its close flag is detected within a few
+/// sleep periods.
+///
+/// Frames cross the ring exactly as they cross a socket — FrameHeader then
+/// body — but are memcpy'd *directly* into the mapped ring (split at the
+/// wrap point), so the per-frame cost is the two copies inherent to a ring
+/// and nothing else: no intermediate frame buffer, no syscalls. Frames
+/// larger than the ring stream through it in chunks under backpressure.
+
+namespace crowdrl {
+namespace net {
+
+/// Which end of the segment this process is: determines which ring is
+/// inbound and which outbound.
+enum class ShmRole {
+  kServer,  ///< reads client→server, writes server→client
+  kClient,  ///< reads server→client, writes client→server
+};
+
+class ShmTransport : public Transport {
+ public:
+  /// `segment` must be a valid mapping; `control_fd` is borrowed (not
+  /// owned) and must stay open for the transport's lifetime — it is only
+  /// ever polled/peeked, never read from or written to.
+  ShmTransport(ShmSegment segment, ShmRole role, int control_fd);
+  ~ShmTransport() override;
+
+  ShmTransport(const ShmTransport&) = delete;
+  ShmTransport& operator=(const ShmTransport&) = delete;
+
+  Status SendFrame(MsgType type, uint32_t seq,
+                   const std::string& body) override;
+  Status RecvFrame(FrameHeader* header, std::string* body) override;
+  const char* name() const override { return "shm"; }
+  RingStats ring_stats() const override;
+
+  /// Marks both ring ends closed so a peer parked on the ring wakes and
+  /// sees EOF. Called by the destructor; idempotent.
+  void Close();
+
+ private:
+  /// Blocking byte ops over the rings, with the backoff policy applied
+  /// whenever a Try* makes no progress.
+  Status WriteBytes(const void* data, size_t n);
+  Status ReadBytes(void* data, size_t n, bool* eof_at_start);
+  /// One backoff step; returns non-OK when the control fd says the peer
+  /// is gone. `attempt` counts consecutive no-progress rounds.
+  Status BackoffStep(uint32_t attempt, int64_t* stall_counter);
+
+  ShmSegment segment_;
+  SpscRing in_;
+  SpscRing out_;
+  int control_fd_ = -1;
+  bool closed_ = false;
+
+  // Wait counters (single-owner, no atomics: the transport is not
+  // thread-safe by contract).
+  int64_t send_stalls_ = 0;
+  int64_t recv_waits_ = 0;
+  int64_t wait_syscalls_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Bootstrap helpers (shared by LearnerDaemon and ActorClient).
+// ---------------------------------------------------------------------------
+
+/// Client half of the shm bootstrap, run on a fresh UDS connection: sends
+/// kShmSetupRequest(ring_capacity), receives kShmSetupResponse + segment
+/// fd, validates and maps it. On success returns the ready transport;
+/// `control_fd` (the UDS connection) is borrowed by it.
+Result<std::unique_ptr<ShmTransport>> ShmConnectClient(
+    int control_fd, uint64_t ring_capacity);
+
+/// Server half: answers a received kShmSetupRequest body (already framed
+/// off the socket) by creating the segment, sending the response frame
+/// with the fd attached, and returning the server-role transport.
+Result<std::unique_ptr<ShmTransport>> ShmAcceptServer(
+    int control_fd, uint32_t request_seq, const std::string& request_body);
+
+}  // namespace net
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NET_SHM_TRANSPORT_H_

@@ -172,8 +172,53 @@ Status MakeSocketPair(FdHandle* a, FdHandle* b) {
 
 void IgnoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
 
-Status SendFrame(int fd, MsgType type, uint32_t seq,
-                 const std::string& body) {
+namespace {
+
+/// Sends every iovec byte in as few `sendmsg(2)` calls as the kernel
+/// allows (one, in the common case of a frame smaller than the socket
+/// buffer), retrying EINTR and advancing across partial sends. When
+/// `pass_fd` >= 0 it rides the first successful call as SCM_RIGHTS.
+Status SendmsgAll(int fd, struct iovec* iov, int iovcnt, int pass_fd) {
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  while (iovcnt > 0) {
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    if (pass_fd >= 0) {
+      std::memset(cbuf, 0, sizeof(cbuf));
+      msg.msg_control = cbuf;
+      msg.msg_controllen = CMSG_SPACE(sizeof(int));
+      struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+      cmsg->cmsg_level = SOL_SOCKET;
+      cmsg->cmsg_type = SCM_RIGHTS;
+      cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+      std::memcpy(CMSG_DATA(cmsg), &pass_fd, sizeof(int));
+    }
+    // MSG_NOSIGNAL: a vanished peer is an EPIPE error on this thread, not
+    // a process-wide SIGPIPE.
+    const ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("sendmsg");
+    }
+    pass_fd = -1;  // ancillary data left with the first accepted byte
+    size_t sent = static_cast<size_t>(r);
+    while (iovcnt > 0 && sent >= iov[0].iov_len) {
+      sent -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0 && sent > 0) {
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + sent;
+      iov[0].iov_len -= sent;
+    }
+  }
+  return Status::OK();
+}
+
+Status SendFrameImpl(int fd, MsgType type, uint32_t seq,
+                     const std::string& body, int pass_fd) {
   if (body.size() > kMaxFrameBody) {
     return FaultStatus(WireFault::kOversized, "send-frame");
   }
@@ -181,18 +226,104 @@ Status SendFrame(int fd, MsgType type, uint32_t seq,
   header.type = static_cast<uint16_t>(type);
   header.seq = seq;
   header.body_len = static_cast<uint32_t>(body.size());
-  // One buffered write per frame: header and body leave in a single send
-  // whenever the kernel allows, so a reader never blocks between them.
-  std::string frame;
-  frame.reserve(sizeof(header) + body.size());
-  frame.append(reinterpret_cast<const char*>(&header), sizeof(header));
-  frame.append(body);
-  return WriteAll(fd, frame.data(), frame.size());
+  // Header and body leave in one gathered sendmsg: no intermediate frame
+  // copy, one syscall per frame, and a reader never blocks between them.
+  struct iovec iov[2];
+  iov[0].iov_base = &header;
+  iov[0].iov_len = sizeof(header);
+  iov[1].iov_base = const_cast<char*>(body.data());
+  iov[1].iov_len = body.size();
+  return SendmsgAll(fd, iov, body.empty() ? 1 : 2, pass_fd);
+}
+
+/// ReadAll via recvmsg, harvesting at most one SCM_RIGHTS descriptor into
+/// `*received` (first wins; surplus descriptors are closed immediately so
+/// a hostile peer cannot grow this process's fd table).
+Status RecvAllWithFd(int fd, void* data, size_t n, FdHandle* received,
+                     bool* eof_at_start) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(4 * sizeof(int))];
+  while (got < n) {
+    struct iovec iov;
+    iov.iov_base = p + got;
+    iov.iov_len = n - got;
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    const ssize_t r = ::recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recvmsg");
+    }
+    for (struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+        continue;
+      }
+      const size_t num_fds =
+          (cmsg->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+      for (size_t i = 0; i < num_fds; ++i) {
+        int passed = -1;
+        std::memcpy(&passed, CMSG_DATA(cmsg) + i * sizeof(int),
+                    sizeof(int));
+        if (passed < 0) continue;
+        if (received != nullptr && !received->valid()) {
+          received->Reset(passed);
+        } else {
+          ::close(passed);
+        }
+      }
+    }
+    if (r == 0) {
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::IoError("connection closed mid-read");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, MsgType type, uint32_t seq,
+                 const std::string& body) {
+  return SendFrameImpl(fd, type, seq, body, /*pass_fd=*/-1);
+}
+
+Status SendFrameWithFd(int fd, MsgType type, uint32_t seq,
+                       const std::string& body, int fd_to_pass) {
+  if (fd_to_pass < 0) {
+    return Status::InvalidArgument("send-frame-with-fd: bad descriptor");
+  }
+  return SendFrameImpl(fd, type, seq, body, fd_to_pass);
 }
 
 Status RecvFrame(int fd, FrameHeader* header, std::string* body) {
   bool eof = false;
   CROWDRL_RETURN_NOT_OK(ReadAll(fd, header, sizeof(*header), &eof));
+  const WireFault fault = CheckHeader(*header);
+  if (fault != WireFault::kNone) return FaultStatus(fault, "recv-frame");
+  body->resize(header->body_len);
+  if (header->body_len == 0) return Status::OK();
+  return ReadAll(fd, &(*body)[0], body->size());
+}
+
+Status RecvFrameWithFd(int fd, FrameHeader* header, std::string* body,
+                       FdHandle* received) {
+  if (received != nullptr) received->Reset();
+  bool eof = false;
+  // The descriptor rides the header's sendmsg, so only the header read
+  // needs the recvmsg/ancillary machinery; the body is a plain ReadAll.
+  CROWDRL_RETURN_NOT_OK(
+      RecvAllWithFd(fd, header, sizeof(*header), received, &eof));
   const WireFault fault = CheckHeader(*header);
   if (fault != WireFault::kNone) return FaultStatus(fault, "recv-frame");
   body->resize(header->body_len);

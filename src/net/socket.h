@@ -102,12 +102,28 @@ void IgnoreSigpipe();
 // ---------------------------------------------------------------------------
 
 /// Sends one frame. `body.size()` must be within kMaxFrameBody.
+/// Header and body leave in a single `sendmsg(2)` (two iovecs, no
+/// intermediate copy, MSG_NOSIGNAL), so one frame costs one syscall and a
+/// reader never blocks between header and body.
 Status SendFrame(int fd, MsgType type, uint32_t seq, const std::string& body);
+
+/// SendFrame plus one descriptor attached as SCM_RIGHTS ancillary data on
+/// the same sendmsg — the shm bootstrap's segment handoff. `fd_to_pass`
+/// is borrowed, not consumed.
+Status SendFrameWithFd(int fd, MsgType type, uint32_t seq,
+                       const std::string& body, int fd_to_pass);
 
 /// Receives one frame: validates the header (typed WireFault Status on a
 /// bad one) and reads the body. A clean peer close before the header is
 /// NotFound("connection closed") — the loop-exit condition of handlers.
 Status RecvFrame(int fd, FrameHeader* header, std::string* body);
+
+/// RecvFrame that also accepts one SCM_RIGHTS descriptor if the sender
+/// attached one (`*received` is left empty otherwise). Any surplus
+/// descriptors are closed immediately — a hostile peer cannot grow this
+/// process's fd table.
+Status RecvFrameWithFd(int fd, FrameHeader* header, std::string* body,
+                       FdHandle* received);
 
 }  // namespace net
 }  // namespace crowdrl

@@ -1,0 +1,92 @@
+#ifndef CROWDRL_NET_TRANSPORT_H_
+#define CROWDRL_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+/// \file
+/// \brief The frame-transport seam of the serving stack: `LearnerDaemon`
+/// and `ActorClient` speak wire frames through this interface, so the
+/// byte-moving machinery underneath (UNIX-domain socket vs shared-memory
+/// ring) is a runtime choice, not a compile-time one.
+///
+/// Both implementations carry the *same* `wire.h` frames — `FrameHeader`
+/// preamble, identical body encodings, identical typed faults — which is
+/// what keeps the loopback equivalence chain (in-process == uds actor ==
+/// shm actor) a byte-level statement rather than a behavioral one.
+
+namespace crowdrl {
+namespace net {
+
+/// Wait/stall counters of a ring transport (zeros for sockets — the
+/// kernel does the waiting there). Every unit of `wait_syscalls` is one
+/// sched_yield / nanosleep / poll issued while a ring was full (send) or
+/// empty (recv); in steady state with a live peer the expected value is
+/// zero, and the shm tests assert exactly that.
+struct RingStats {
+  int64_t ring_capacity = 0;  ///< bytes per direction (0 = not a ring)
+  int64_t send_stalls = 0;    ///< send waits: ring full episodes
+  int64_t recv_waits = 0;     ///< recv waits: ring empty episodes
+  int64_t wait_syscalls = 0;  ///< yields + sleeps + liveness polls
+};
+
+/// A bidirectional, blocking frame channel. Not thread-safe: one user per
+/// direction at a time (the daemon handler thread / the actor thread own
+/// their transport exclusively).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one frame. `body.size()` must be within kMaxFrameBody.
+  virtual Status SendFrame(MsgType type, uint32_t seq,
+                           const std::string& body) = 0;
+
+  /// Receives one frame: validates the header (typed WireFault Status) and
+  /// reads the body. A clean peer close before the header is
+  /// NotFound("connection closed") — the loop-exit condition of handlers.
+  virtual Status RecvFrame(FrameHeader* header, std::string* body) = 0;
+
+  /// Short stable name for stats/bench output ("uds", "shm").
+  virtual const char* name() const = 0;
+
+  /// Ring wait counters; the default (socket) transport reports zeros.
+  virtual RingStats ring_stats() const { return RingStats(); }
+};
+
+/// The socket-backed transport: frame I/O over a connected stream fd via
+/// the syscall wrappers in socket.h. Can either borrow an fd owned by the
+/// caller (daemon handlers — SocketServer owns connection fds) or own one
+/// (clients).
+class SocketTransport : public Transport {
+ public:
+  /// Borrows `fd`; the caller keeps it open for the transport's lifetime.
+  explicit SocketTransport(int fd) : fd_(fd) {}
+  /// Owns `fd`.
+  explicit SocketTransport(FdHandle fd)
+      : owned_(std::move(fd)), fd_(owned_.fd()) {}
+
+  Status SendFrame(MsgType type, uint32_t seq,
+                   const std::string& body) override {
+    return net::SendFrame(fd_, type, seq, body);
+  }
+  Status RecvFrame(FrameHeader* header, std::string* body) override {
+    return net::RecvFrame(fd_, header, body);
+  }
+  const char* name() const override { return "uds"; }
+
+  int fd() const { return fd_; }
+
+ private:
+  FdHandle owned_;
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace crowdrl
+
+#endif  // CROWDRL_NET_TRANSPORT_H_

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "net/shm_ring.h"
 #include "nn/set_qnetwork.h"
 
 namespace crowdrl {
@@ -210,6 +211,8 @@ WireFault CheckHeader(const FrameHeader& header) {
     case MsgType::kStatsResponse:
     case MsgType::kShutdownRequest:
     case MsgType::kShutdownResponse:
+    case MsgType::kShmSetupRequest:
+    case MsgType::kShmSetupResponse:
     case MsgType::kError:
       return WireFault::kNone;
   }
@@ -515,6 +518,51 @@ Status ParseSnapshotResponse(const void* data, size_t len,
   return Finish(r, kCtx);
 }
 
+// ---- shm setup ----
+
+void AppendShmSetupRequest(uint64_t ring_capacity, std::string* out) {
+  Writer w(out);
+  ShmSetupRequestHead head;
+  head.ring_capacity = ring_capacity;
+  w.Pod(head);
+}
+
+void AppendShmSetupResponse(uint64_t ring_capacity, uint64_t segment_bytes,
+                            std::string* out) {
+  Writer w(out);
+  ShmSetupResponseHead head;
+  head.ring_capacity = ring_capacity;
+  head.segment_bytes = segment_bytes;
+  w.Pod(head);
+}
+
+Status ParseShmSetupRequest(const void* data, size_t len,
+                            ShmSetupRequestHead* out) {
+  static constexpr char kCtx[] = "shm-setup-request";
+  Reader r(data, len);
+  if (!r.Pod(out)) return Fault(WireFault::kTruncated, kCtx);
+  const uint64_t cap = out->ring_capacity;
+  if (cap < kMinShmRingCapacity || cap > kMaxShmRingCapacity ||
+      (cap & (cap - 1)) != 0) {
+    return Fault(WireFault::kMalformed, kCtx);
+  }
+  return Finish(r, kCtx);
+}
+
+Status ParseShmSetupResponse(const void* data, size_t len,
+                             ShmSetupResponseHead* out) {
+  static constexpr char kCtx[] = "shm-setup-response";
+  Reader r(data, len);
+  if (!r.Pod(out)) return Fault(WireFault::kTruncated, kCtx);
+  const uint64_t cap = out->ring_capacity;
+  if (cap < kMinShmRingCapacity || cap > kMaxShmRingCapacity ||
+      (cap & (cap - 1)) != 0 ||
+      out->segment_bytes != ShmSegmentBytes(cap)) {
+    return Fault(WireFault::kMalformed, kCtx);
+  }
+  return Finish(r, kCtx);
+}
+
 // ---- stats ----
 
 WireStats ToWireStats(const ServiceStats& stats) {
@@ -546,6 +594,10 @@ WireStats ToWireStats(const ServiceStats& stats) {
   w.transport_bytes_out = stats.transport_bytes_out;
   w.transport_snapshot_fetches = stats.transport_snapshot_fetches;
   w.transport_remote_transitions = stats.transport_remote_transitions;
+  w.transport_shm_connections = stats.transport_shm_connections;
+  w.transport_ring_capacity = stats.transport_ring_capacity;
+  w.transport_ring_stalls = stats.transport_ring_stalls;
+  w.transport_ring_wait_syscalls = stats.transport_ring_wait_syscalls;
   return w;
 }
 
@@ -578,6 +630,10 @@ ServiceStats FromWireStats(const WireStats& wire) {
   s.transport_bytes_out = wire.transport_bytes_out;
   s.transport_snapshot_fetches = wire.transport_snapshot_fetches;
   s.transport_remote_transitions = wire.transport_remote_transitions;
+  s.transport_shm_connections = wire.transport_shm_connections;
+  s.transport_ring_capacity = wire.transport_ring_capacity;
+  s.transport_ring_stalls = wire.transport_ring_stalls;
+  s.transport_ring_wait_syscalls = wire.transport_ring_wait_syscalls;
   return s;
 }
 

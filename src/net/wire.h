@@ -46,7 +46,10 @@ namespace net {
 /// "CRLW" — stamped on every frame so a stray client speaking another
 /// protocol is rejected on the first header.
 inline constexpr uint32_t kWireMagic = 0x434C5257u;
-inline constexpr uint16_t kWireVersion = 1;
+/// v2: shm setup messages (kShmSetupRequest/Response) and the ring/stall
+/// counters appended to WireStats — a layout change, so v1 peers fail the
+/// header check instead of mis-decoding stats.
+inline constexpr uint16_t kWireVersion = 2;
 
 /// Upper bound on one frame's body. Generous enough for a serialized
 /// policy snapshot; anything larger is a corrupt or hostile header.
@@ -74,6 +77,11 @@ enum class MsgType : uint16_t {
   kStatsResponse = 8,
   kShutdownRequest = 9,
   kShutdownResponse = 10,
+  /// Transport upgrade: the client asks the daemon to move this
+  /// connection onto a shared-memory ring pair; the response frame
+  /// carries the segment fd via SCM_RIGHTS on the bootstrap socket.
+  kShmSetupRequest = 11,
+  kShmSetupResponse = 12,
   kError = 0xEE,
 };
 
@@ -190,6 +198,19 @@ struct SnapshotResponseHead {
   uint8_t changed = 0;
 } __attribute__((packed));
 
+/// kShmSetupRequest: the requested per-direction ring capacity in bytes
+/// (power of two within the shm_ring.h bounds; the daemon validates).
+struct ShmSetupRequestHead {
+  uint64_t ring_capacity = 0;
+} __attribute__((packed));
+
+/// kShmSetupResponse: the accepted geometry; the segment fd rides the
+/// same frame as SCM_RIGHTS ancillary data (socket.h RecvFrameWithFd).
+struct ShmSetupResponseHead {
+  uint64_t ring_capacity = 0;
+  uint64_t segment_bytes = 0;
+} __attribute__((packed));
+
 /// kStatsResponse body: the aggregate ServiceStats flattened to fixed-width
 /// fields, plus the daemon's transport counters.
 struct WireStats {
@@ -220,6 +241,10 @@ struct WireStats {
   int64_t transport_bytes_out = 0;
   int64_t transport_snapshot_fetches = 0;
   int64_t transport_remote_transitions = 0;
+  int64_t transport_shm_connections = 0;
+  int64_t transport_ring_capacity = 0;
+  int64_t transport_ring_stalls = 0;
+  int64_t transport_ring_wait_syscalls = 0;
 } __attribute__((packed));
 
 /// kError body: head + `msg_len` bytes of human-readable context.
@@ -251,6 +276,9 @@ void AppendSnapshotRequest(uint32_t shard, uint64_t have_version,
 /// which case an unchanged marker (no payload) is emitted.
 Status AppendSnapshotResponse(const PolicySnapshot& snapshot,
                               uint64_t have_version, std::string* out);
+void AppendShmSetupRequest(uint64_t ring_capacity, std::string* out);
+void AppendShmSetupResponse(uint64_t ring_capacity, uint64_t segment_bytes,
+                            std::string* out);
 void AppendStats(const ServiceStats& stats, std::string* out);
 void AppendError(const Status& status, std::string* out);
 
@@ -311,6 +339,14 @@ struct DecodedSnapshot {
 };
 Status ParseSnapshotResponse(const void* data, size_t len,
                              DecodedSnapshot* out);
+
+/// Validates the requested capacity against the shm_ring.h bounds
+/// (power-of-two range) — a hostile capacity is a kMalformed fault, not a
+/// giant ftruncate.
+Status ParseShmSetupRequest(const void* data, size_t len,
+                            ShmSetupRequestHead* out);
+Status ParseShmSetupResponse(const void* data, size_t len,
+                             ShmSetupResponseHead* out);
 
 Status ParseStats(const void* data, size_t len, ServiceStats* out);
 

@@ -118,6 +118,17 @@ struct ServiceStats {
   /// Transitions shipped upstream by remote actors that scored locally
   /// against a snapshot replica (FeedbackMode::kClientTransitions).
   int64_t transport_remote_transitions = 0;
+  /// Connections upgraded from the bootstrap socket onto a shared-memory
+  /// ring pair (kShmSetupRequest accepted).
+  int64_t transport_shm_connections = 0;
+  /// Per-direction ring bytes of the largest accepted segment.
+  int64_t transport_ring_capacity = 0;
+  /// Ring wait episodes (send side full + recv side empty), summed over
+  /// finished shm connections — backpressure visibility.
+  int64_t transport_ring_stalls = 0;
+  /// Syscalls (yields + sleeps + liveness polls) spent waiting on rings;
+  /// zero in steady state with live peers, by design and by test.
+  int64_t transport_ring_wait_syscalls = 0;
 };
 
 /// \brief One self-contained arrangement-service shard: a continuously-

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "net/actor_client.h"
+#include "net/shm_transport.h"
 #include "net/socket.h"
 #include "serve/workload.h"
 
@@ -288,6 +289,113 @@ TEST(LearnerDaemonTest, UntrustedHeaderDropsConnection) {
     st = RecvFrame(conn->fd(), &header, &body);
   }
   EXPECT_FALSE(st.ok());
+}
+
+TEST(LearnerDaemonTest, ShmUpgradeServesTheFullRequestSurface) {
+  DaemonFixture fx("shm_upgrade");
+  ASSERT_TRUE(fx.daemon->Start().ok());
+  ActorClient::TransportOptions transport;
+  transport.kind = ActorClient::TransportOptions::Kind::kShm;
+  transport.ring_capacity = kMinShmRingCapacity;
+  Result<std::unique_ptr<ActorClient>> client =
+      ActorClient::Connect(fx.socket_path, transport);
+  ASSERT_TRUE(client.ok());
+  ActorClient* actor = client.value().get();
+  EXPECT_STREQ(actor->transport_name(), "shm");
+
+  Rng rng(99);
+  for (int i = 0; i < 12; ++i) {
+    const Observation obs = fx.workload.MakeObservation(i, &rng);
+    DecodedRankResponse rank;
+    ASSERT_TRUE(actor->Rank(obs, true, &rank).ok());
+    FeedbackResponseHead fb_resp;
+    ASSERT_TRUE(actor
+                    ->Feedback(obs.arrival_index, obs.worker,
+                               fx.workload.SimulateFeedback(obs, rank.ranking,
+                                                            &rng),
+                               &fb_resp)
+                    .ok());
+    ASSERT_EQ(fb_resp.accepted, 1);
+  }
+  // Snapshot frames are far larger than the 4 KiB ring: they stream
+  // through backpressure rather than failing or widening the segment.
+  ASSERT_TRUE(actor->FetchSnapshot(0).ok());
+  ASSERT_NE(actor->replica(), nullptr);
+
+  ServiceStats stats;
+  ASSERT_TRUE(actor->FetchStats(&stats).ok());
+  EXPECT_EQ(stats.events_processed, 12);
+  EXPECT_EQ(stats.transport_shm_connections, 1);
+  EXPECT_EQ(stats.transport_ring_capacity,
+            static_cast<int64_t>(kMinShmRingCapacity));
+  // Frame accounting is transport-blind: the daemon counted the ring
+  // frames exactly as it would socket frames, plus the one bootstrap
+  // kShmSetupRequest the client sent before its RPC counters existed.
+  EXPECT_EQ(stats.transport_frames_in, actor->frames_sent() + 1);
+  EXPECT_EQ(stats.transport_bytes_in,
+            actor->bytes_sent() +
+                static_cast<int64_t>(sizeof(FrameHeader) +
+                                     sizeof(ShmSetupRequestHead)));
+}
+
+TEST(LearnerDaemonTest, SecondShmUpgradeIsRejectedButRingSurvives) {
+  DaemonFixture fx("shm_double");
+  ASSERT_TRUE(fx.daemon->Start().ok());
+  Result<FdHandle> conn = ConnectUnix(fx.socket_path);
+  ASSERT_TRUE(conn.ok());
+  Result<std::unique_ptr<ShmTransport>> ring =
+      ShmConnectClient(conn->fd(), kMinShmRingCapacity);
+  ASSERT_TRUE(ring.ok());
+  ShmTransport* transport = ring.value().get();
+
+  // A second setup request arrives over the ring itself; the daemon
+  // answers with a typed error frame on the ring and keeps serving.
+  std::string body;
+  AppendShmSetupRequest(kMinShmRingCapacity, &body);
+  ASSERT_TRUE(
+      transport->SendFrame(MsgType::kShmSetupRequest, 5, body).ok());
+  FrameHeader header;
+  std::string resp;
+  ASSERT_TRUE(transport->RecvFrame(&header, &resp).ok());
+  ASSERT_EQ(static_cast<MsgType>(header.type), MsgType::kError);
+  EXPECT_EQ(header.seq, 5u);
+  EXPECT_EQ(ParseError(resp.data(), resp.size()).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The rejected upgrade did not wedge or double-count the connection.
+  ASSERT_TRUE(transport->SendFrame(MsgType::kStatsRequest, 6, "").ok());
+  ASSERT_TRUE(transport->RecvFrame(&header, &resp).ok());
+  ASSERT_EQ(static_cast<MsgType>(header.type), MsgType::kStatsResponse);
+  ServiceStats stats;
+  ASSERT_TRUE(ParseStats(resp.data(), resp.size(), &stats).ok());
+  EXPECT_EQ(stats.transport_shm_connections, 1);
+}
+
+TEST(LearnerDaemonTest, HostileShmCapacityGetsTypedErrorOnTheSocket) {
+  DaemonFixture fx("shm_hostile");
+  ASSERT_TRUE(fx.daemon->Start().ok());
+  Result<FdHandle> conn = ConnectUnix(fx.socket_path);
+  ASSERT_TRUE(conn.ok());
+
+  // Non-power-of-two capacity: rejected at parse time (kMalformed ⇒
+  // InvalidArgument), no segment is ever created, and the socket keeps
+  // serving — the actor can retry with a sane geometry or stay on uds.
+  std::string body;
+  AppendShmSetupRequest(kMinShmRingCapacity + 1, &body);
+  ASSERT_TRUE(SendFrame(conn->fd(), MsgType::kShmSetupRequest, 1, body).ok());
+  FrameHeader header;
+  std::string resp;
+  ASSERT_TRUE(RecvFrame(conn->fd(), &header, &resp).ok());
+  ASSERT_EQ(static_cast<MsgType>(header.type), MsgType::kError);
+  EXPECT_EQ(ParseError(resp.data(), resp.size()).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(SendFrame(conn->fd(), MsgType::kStatsRequest, 2, "").ok());
+  ASSERT_TRUE(RecvFrame(conn->fd(), &header, &resp).ok());
+  ASSERT_EQ(static_cast<MsgType>(header.type), MsgType::kStatsResponse);
+  ServiceStats stats;
+  ASSERT_TRUE(ParseStats(resp.data(), resp.size(), &stats).ok());
+  EXPECT_EQ(stats.transport_shm_connections, 0);
 }
 
 TEST(LearnerDaemonTest, ShutdownRequestIsObservable) {

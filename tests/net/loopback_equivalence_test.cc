@@ -75,7 +75,10 @@ void ExpectNetsIdentical(const DqnAgent* a, const DqnAgent* b) {
   EXPECT_EQ(a->learn_steps(), b->learn_steps());
 }
 
-TEST(LoopbackEquivalenceTest, WireActorReplaysInProcessTrajectory) {
+/// The full equivalence run, parameterized by the wire transport: the
+/// bit-match contract must hold identically whether frames cross a
+/// socket or a shared-memory ring pair.
+void RunLoopbackEquivalence(const ActorClient::TransportOptions& transport) {
   // One frozen workload shared by both stacks: its reads are physically
   // pure, and both drivers derive identical arrival streams from
   // identically seeded rngs.
@@ -101,9 +104,12 @@ TEST(LoopbackEquivalenceTest, WireActorReplaysInProcessTrajectory) {
   LearnerDaemon daemon(remote.get(), socket_path);
   ASSERT_TRUE(daemon.Start().ok());
   Result<std::unique_ptr<ActorClient>> client =
-      ActorClient::Connect(socket_path);
+      ActorClient::Connect(socket_path, transport);
   ASSERT_TRUE(client.ok());
   ActorClient* actor = client.value().get();
+  const bool shm =
+      transport.kind == ActorClient::TransportOptions::Kind::kShm;
+  EXPECT_STREQ(actor->transport_name(), shm ? "shm" : "uds");
 
   constexpr int kEvents = 40;
   constexpr uint64_t kDriverSeed = 20260808;
@@ -176,9 +182,32 @@ TEST(LoopbackEquivalenceTest, WireActorReplaysInProcessTrajectory) {
   EXPECT_EQ(inproc->stats().aggregate.events_processed, kEvents);
   EXPECT_EQ(remote->stats().aggregate.events_processed, kEvents);
 
+  // The shm upgrade is visible in the daemon's transport counters, and
+  // with a minimal 4 KiB ring the 16 KiB-ish snapshot responses must have
+  // streamed through backpressure rather than silently widening the ring.
+  if (shm) {
+    EXPECT_EQ(daemon.Stats().transport_shm_connections, 1);
+    EXPECT_EQ(actor->ring_stats().ring_capacity,
+              static_cast<int64_t>(kMinShmRingCapacity));
+  }
+
   daemon.Stop();
   remote->Stop();
   inproc->Stop();
+}
+
+TEST(LoopbackEquivalenceTest, WireActorReplaysInProcessTrajectory) {
+  RunLoopbackEquivalence(ActorClient::TransportOptions{});
+}
+
+/// The acceptance bar for the shared-memory transport: the same bit-match
+/// over the ring pair, with a deliberately minimal ring so every frame
+/// class (snapshot responses included) exercises the wrap-around path.
+TEST(LoopbackEquivalenceTest, ShmActorReplaysInProcessTrajectory) {
+  ActorClient::TransportOptions transport;
+  transport.kind = ActorClient::TransportOptions::Kind::kShm;
+  transport.ring_capacity = kMinShmRingCapacity;
+  RunLoopbackEquivalence(transport);
 }
 
 }  // namespace

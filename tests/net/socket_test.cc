@@ -102,6 +102,71 @@ TEST(FrameIoTest, SendRecvFrameRoundTrips) {
   EXPECT_EQ(received, body);
 }
 
+TEST(FrameIoTest, CoalescedSendIsByteIdenticalToHeaderThenBody) {
+  // SendFrame gathers header+body into one sendmsg; the bytes on the wire
+  // must be exactly the packed header followed by the body — nothing
+  // reordered, padded or duplicated across the partial-send resume path.
+  FdHandle a, b;
+  ASSERT_TRUE(MakeSocketPair(&a, &b).ok());
+  // Big enough to overflow the socket buffer, so SendmsgAll really takes
+  // the advance-across-partial-sends path at least once.
+  std::string body(1 << 20, '\0');
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<char>(i * 2654435761u);
+  }
+  std::thread writer([&] {
+    ASSERT_TRUE(SendFrame(a.fd(), MsgType::kRankRequest, 7, body).ok());
+  });
+  std::string wire(sizeof(FrameHeader) + body.size(), '\0');
+  ASSERT_TRUE(ReadAll(b.fd(), &wire[0], wire.size()).ok());
+  writer.join();
+
+  FrameHeader expected;
+  expected.type = static_cast<uint16_t>(MsgType::kRankRequest);
+  expected.seq = 7;
+  expected.body_len = static_cast<uint32_t>(body.size());
+  std::string golden(sizeof(expected) + body.size(), '\0');
+  std::memcpy(&golden[0], &expected, sizeof(expected));
+  std::memcpy(&golden[sizeof(expected)], body.data(), body.size());
+  EXPECT_EQ(wire, golden);
+}
+
+TEST(FrameIoTest, ScmRightsCarriesALiveDescriptorWithTheFrame) {
+  FdHandle a, b;
+  ASSERT_TRUE(MakeSocketPair(&a, &b).ok());
+  FdHandle pass_a, pass_b;
+  ASSERT_TRUE(MakeSocketPair(&pass_a, &pass_b).ok());
+
+  ASSERT_TRUE(
+      SendFrameWithFd(a.fd(), MsgType::kShmSetupResponse, 9, "geometry",
+                      pass_a.fd())
+          .ok());
+  FrameHeader header;
+  std::string body;
+  FdHandle received;
+  ASSERT_TRUE(RecvFrameWithFd(b.fd(), &header, &body, &received).ok());
+  EXPECT_EQ(static_cast<MsgType>(header.type), MsgType::kShmSetupResponse);
+  EXPECT_EQ(body, "geometry");
+  ASSERT_TRUE(received.valid());
+  EXPECT_NE(received.fd(), pass_a.fd()) << "expected a dup'd descriptor";
+
+  // The received descriptor is the same socket description: bytes written
+  // through it come out of the passed pair's other end.
+  ASSERT_TRUE(WriteAll(received.fd(), "ping", 4).ok());
+  char buf[4];
+  ASSERT_TRUE(ReadAll(pass_b.fd(), buf, sizeof(buf)).ok());
+  EXPECT_EQ(std::string(buf, 4), "ping");
+
+  // A frame without ancillary data leaves `received` invalid, and a bad
+  // descriptor is rejected before anything hits the wire.
+  ASSERT_TRUE(SendFrame(a.fd(), MsgType::kStatsRequest, 10, "").ok());
+  ASSERT_TRUE(RecvFrameWithFd(b.fd(), &header, &body, &received).ok());
+  EXPECT_FALSE(received.valid());
+  EXPECT_EQ(
+      SendFrameWithFd(a.fd(), MsgType::kStatsRequest, 11, "", -1).code(),
+      StatusCode::kInvalidArgument);
+}
+
 TEST(FrameIoTest, RecvFrameRejectsBadHeaderWithTypedFault) {
   FdHandle a, b;
   ASSERT_TRUE(MakeSocketPair(&a, &b).ok());

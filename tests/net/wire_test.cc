@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "net/shm_ring.h"
 #include "nn/set_qnetwork.h"
 
 namespace crowdrl {
@@ -434,6 +435,21 @@ TEST(WireTest, TruncatedAndPaddedBodiesAreRejectedForEveryMessageType) {
   });
 
   body.clear();
+  AppendShmSetupRequest(kDefaultShmRingCapacity, &body);
+  ExpectAllPrefixesRejected(body, [](const void* d, size_t n) {
+    ShmSetupRequestHead out;
+    return ParseShmSetupRequest(d, n, &out);
+  });
+
+  body.clear();
+  AppendShmSetupResponse(kDefaultShmRingCapacity,
+                         ShmSegmentBytes(kDefaultShmRingCapacity), &body);
+  ExpectAllPrefixesRejected(body, [](const void* d, size_t n) {
+    ShmSetupResponseHead out;
+    return ParseShmSetupResponse(d, n, &out);
+  });
+
+  body.clear();
   AppendError(Status::IoError("x"), &body);
   for (size_t len = 0; len < body.size(); ++len) {
     // ParseError returns the *carried* status on success, so "rejected"
@@ -476,6 +492,52 @@ TEST(WireTest, HostileCountsAreRejectedBeforeAllocation) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(WireTest, HostileShmGeometriesAreMalformedNotMapped) {
+  // Every hostile geometry dies at the parser — before any ftruncate or
+  // mmap could act on it.
+  const uint64_t hostile_caps[] = {
+      0,
+      kMinShmRingCapacity - 1,
+      kMinShmRingCapacity + 1,     // not a power of two
+      kDefaultShmRingCapacity | 3,  // not a power of two
+      kMaxShmRingCapacity * 2,
+      ~uint64_t{0},
+  };
+  for (const uint64_t cap : hostile_caps) {
+    ShmSetupRequestHead req{};
+    req.ring_capacity = cap;
+    ShmSetupRequestHead out;
+    EXPECT_EQ(ParseShmSetupRequest(&req, sizeof(req), &out).code(),
+              StatusCode::kInvalidArgument)
+        << "capacity " << cap << " accepted";
+
+    ShmSetupResponseHead resp{};
+    resp.ring_capacity = cap;
+    resp.segment_bytes = ShmSegmentBytes(kDefaultShmRingCapacity);
+    ShmSetupResponseHead rout;
+    EXPECT_EQ(ParseShmSetupResponse(&resp, sizeof(resp), &rout).code(),
+              StatusCode::kInvalidArgument)
+        << "response capacity " << cap << " accepted";
+  }
+
+  // A response whose segment size disagrees with its own capacity is a
+  // lying peer, not a mapping instruction.
+  ShmSetupResponseHead resp{};
+  resp.ring_capacity = kDefaultShmRingCapacity;
+  resp.segment_bytes = ShmSegmentBytes(kDefaultShmRingCapacity) + 4096;
+  ShmSetupResponseHead out;
+  EXPECT_EQ(ParseShmSetupResponse(&resp, sizeof(resp), &out).code(),
+            StatusCode::kInvalidArgument);
+
+  // The valid geometry round-trips through both heads.
+  std::string body;
+  AppendShmSetupRequest(kDefaultShmRingCapacity, &body);
+  ShmSetupRequestHead req_out;
+  ASSERT_TRUE(
+      ParseShmSetupRequest(body.data(), body.size(), &req_out).ok());
+  EXPECT_EQ(req_out.ring_capacity, kDefaultShmRingCapacity);
+}
+
 // Randomized frame fuzzer: arbitrary bytes and bit-flipped valid bodies
 // through every parser. The assertion is survival with a clean Status —
 // under ASan/UBSan this is a memory-safety proof over ~10^4 hostile inputs.
@@ -499,6 +561,12 @@ TEST(WireTest, FuzzerNeverCrashesAnyParser) {
   AppendStats(ServiceStats{}, &seeds.back());
   seeds.emplace_back();
   AppendError(Status::Internal("seed"), &seeds.back());
+  seeds.emplace_back();
+  AppendShmSetupRequest(kDefaultShmRingCapacity, &seeds.back());
+  seeds.emplace_back();
+  AppendShmSetupResponse(kDefaultShmRingCapacity,
+                         ShmSegmentBytes(kDefaultShmRingCapacity),
+                         &seeds.back());
 
   const auto parse_all = [](const std::string& bytes) {
     const void* d = bytes.data();
@@ -530,6 +598,14 @@ TEST(WireTest, FuzzerNeverCrashesAnyParser) {
     {
       ServiceStats out;
       (void)ParseStats(d, n, &out);
+    }
+    {
+      ShmSetupRequestHead out;
+      (void)ParseShmSetupRequest(d, n, &out);
+    }
+    {
+      ShmSetupResponseHead out;
+      (void)ParseShmSetupResponse(d, n, &out);
     }
     (void)ParseError(d, n);
     if (n >= sizeof(FrameHeader)) {
